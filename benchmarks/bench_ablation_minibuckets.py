@@ -1,0 +1,29 @@
+"""Ablation: mini-bucket i-bound vs exact bucket elimination.
+
+Lower i-bounds mean narrower (cheaper) intermediates but a *relaxed*
+answer; the full bound recovers exact bucket elimination.  This bench
+charts the cost side of that trade-off on a dense instance.
+"""
+
+import random
+
+import pytest
+
+from repro.core.minibuckets import mini_bucket_plan
+from repro.relalg.engine import Engine
+
+from conftest import color_workload
+
+
+@pytest.mark.parametrize("ibound", [2, 3, 4, 99])
+def test_ibound_sweep(benchmark, ibound):
+    query, database = color_workload(12, 4.0)
+    mb = mini_bucket_plan(query, ibound=ibound, rng=random.Random(0))
+    engine = Engine(database)
+    benchmark.group = "ablation minibuckets, n=12 d=4.0"
+    result = benchmark(lambda: engine.execute(mb.plan))
+    if mb.exact:
+        exact = Engine(database).execute(
+            mini_bucket_plan(query, ibound=99, rng=random.Random(0)).plan
+        )
+        assert result == exact

@@ -1,0 +1,61 @@
+"""Figure 2: compile-time scaling of naive vs straightforward planning.
+
+The paper: the PostgreSQL Planner's compile time on naive-form 3-SAT
+queries (5 variables) scales exponentially with density, four orders of
+magnitude above execution time; the straightforward form's pinned order
+compiles far faster.  Each benchmark row is one (form, density) point of
+that plot, measured on the planner simulator.
+"""
+
+import random
+
+import pytest
+
+from repro.sql.planner_sim import plan_naive, plan_straightforward
+
+from conftest import sat_workload
+
+DENSITIES = [1.0, 2.0, 4.0, 8.0]
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+def test_naive_compile(benchmark, density):
+    query, database = sat_workload(5, density)
+    benchmark.group = f"fig2 density={density}"
+    result = benchmark(
+        lambda: plan_naive(query, database, rng=random.Random(0))
+    )
+    assert sorted(result.order) == list(range(len(query.atoms)))
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+def test_straightforward_compile(benchmark, density):
+    query, database = sat_workload(5, density)
+    benchmark.group = f"fig2 density={density}"
+    result = benchmark(lambda: plan_straightforward(query, database))
+    assert result.strategy == "fixed"
+
+
+def test_geqo_vs_dp_ablation(benchmark):
+    """Planner ablation: force GEQO below the threshold and compare."""
+    query, database = sat_workload(5, 2.0)
+    benchmark.group = "fig2 ablation geqo@threshold3"
+    result = benchmark(
+        lambda: plan_naive(
+            query, database, rng=random.Random(0), geqo_threshold=3
+        )
+    )
+    assert result.strategy == "geqo"
+
+
+def test_simulated_annealing_ablation(benchmark):
+    """Third strategy (Ioannidis–Wong): annealing over the same space."""
+    from repro.sql.planner_sim import CostModel, simulated_annealing_search
+
+    query, database = sat_workload(5, 2.0)
+    benchmark.group = "fig2 ablation geqo@threshold3"
+    model = CostModel.from_query(query, database)
+    order, _ = benchmark(
+        lambda: simulated_annealing_search(model, random.Random(0))
+    )
+    assert sorted(order) == list(range(len(query.atoms)))

@@ -1,0 +1,34 @@
+"""Figure 3: 3-COLOR density scaling at fixed order (paper: order 20).
+
+Left panel (Boolean) and right panel (non-Boolean, 20% free variables):
+execution time of straightforward / early projection / reordering /
+bucket elimination as density sweeps the under- to over-constrained
+range.  The paper's shape: every method slows as density grows, bucket
+elimination dominates at every density.
+"""
+
+import pytest
+
+from conftest import bench_execution, color_workload
+
+ORDER = 10
+DENSITIES = [0.5, 1.0, 2.0, 3.0, 4.0]
+METHODS = ["straightforward", "early", "reordering", "bucket"]
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+@pytest.mark.parametrize("method", METHODS)
+def test_boolean(benchmark, method, density):
+    query, database = color_workload(ORDER, density)
+    bench_execution(
+        benchmark, f"fig3 boolean density={density}", method, query, database
+    )
+
+
+@pytest.mark.parametrize("density", [1.0, 3.0])
+@pytest.mark.parametrize("method", METHODS)
+def test_non_boolean(benchmark, method, density):
+    query, database = color_workload(ORDER, density, free_fraction=0.2)
+    bench_execution(
+        benchmark, f"fig3 nonboolean density={density}", method, query, database
+    )

@@ -1,0 +1,23 @@
+"""Figure 5: 3-COLOR order scaling at density 6.0 (paper: orders 15–30).
+
+Overconstrained region: the greedy heuristics stop helping (few chances
+for early projection), so straightforward / early / reordering cluster
+together while bucket elimination still finds projection opportunities
+and wins exponentially.
+"""
+
+import pytest
+
+from conftest import bench_execution, color_workload
+
+DENSITY = 6.0
+METHODS = ["straightforward", "early", "reordering", "bucket"]
+
+
+@pytest.mark.parametrize("order", [13, 15])
+@pytest.mark.parametrize("method", METHODS)
+def test_order_scaling(benchmark, method, order):
+    query, database = color_workload(order, DENSITY)
+    bench_execution(
+        benchmark, f"fig5 d=6.0 order={order}", method, query, database
+    )

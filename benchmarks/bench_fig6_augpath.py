@@ -1,0 +1,56 @@
+"""Figure 6: augmented-path queries (paper: orders 5–50).
+
+The natural edge listing of an augmented path is already projection-
+friendly, so early projection is competitive with bucket elimination —
+and both leave straightforward far behind.  The non-Boolean variant
+scales worse for every method (20% fewer variables to project early).
+"""
+
+import pytest
+
+from conftest import bench_execution, structured_workload
+
+METHODS = ["straightforward", "early", "reordering", "bucket"]
+
+
+@pytest.mark.parametrize("order", [4, 6])
+@pytest.mark.parametrize("method", METHODS)
+def test_boolean(benchmark, method, order):
+    # Orders where *all four* methods finish in benchmarkable time — the
+    # straightforward plan's intermediates double per dangling edge, so
+    # order 8+ belongs to the fast-methods benchmarks below (exactly the
+    # sizes where the paper's straightforward curve has already ended).
+    query, database = structured_workload("augmented_path", order)
+    bench_execution(
+        benchmark, f"fig6 augpath order={order}", method, query, database
+    )
+
+
+@pytest.mark.parametrize("order", [8, 10])
+@pytest.mark.parametrize("method", ["early", "bucket"])
+def test_fast_methods_scale_further(benchmark, method, order):
+    # Early projection's cost doubles per dangler past here (the paper's
+    # Figure 6 curve for it ends around order 15); bucket elimination
+    # alone carries the larger sizes.
+    query, database = structured_workload("augmented_path", order)
+    bench_execution(
+        benchmark, f"fig6 augpath order={order} (fast methods)",
+        method, query, database,
+    )
+
+
+@pytest.mark.parametrize("order", [14, 20])
+def test_bucket_scales_further(benchmark, order):
+    query, database = structured_workload("augmented_path", order)
+    bench_execution(
+        benchmark, f"fig6 augpath order={order} (bucket only)",
+        "bucket", query, database,
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_non_boolean(benchmark, method):
+    query, database = structured_workload("augmented_path", 5, free_fraction=0.2)
+    bench_execution(
+        benchmark, "fig6 augpath nonboolean order=5", method, query, database
+    )

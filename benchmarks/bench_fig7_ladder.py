@@ -1,0 +1,40 @@
+"""Figure 7: ladder queries (paper: orders 5–50).
+
+The family where greedy reordering backfires: the ladder's natural rung
+order is good, and the greedy heuristic finds a *worse* one than the
+given listing — reordering lands behind straightforward, while early
+projection and bucket elimination dominate.
+"""
+
+import pytest
+
+from conftest import bench_execution, structured_workload
+
+METHODS = ["straightforward", "early", "reordering", "bucket"]
+
+
+@pytest.mark.parametrize("order", [4, 7])
+@pytest.mark.parametrize("method", METHODS)
+def test_boolean(benchmark, method, order):
+    query, database = structured_workload("ladder", order)
+    bench_execution(
+        benchmark, f"fig7 ladder order={order}", method, query, database
+    )
+
+
+@pytest.mark.parametrize("order", [10, 14])
+@pytest.mark.parametrize("method", ["early", "bucket"])
+def test_fast_methods_scale_further(benchmark, method, order):
+    query, database = structured_workload("ladder", order)
+    bench_execution(
+        benchmark, f"fig7 ladder order={order} (fast methods)",
+        method, query, database,
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_non_boolean(benchmark, method):
+    query, database = structured_workload("ladder", 5, free_fraction=0.2)
+    bench_execution(
+        benchmark, "fig7 ladder nonboolean order=5", method, query, database
+    )

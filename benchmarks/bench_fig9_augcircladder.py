@@ -1,0 +1,53 @@
+"""Figure 9: augmented-circular-ladder queries (paper: orders 5–50).
+
+The hardest family — closing the rails adds cycles that keep variables
+live under any linear order.  Bucket elimination's exponential advantage
+is at its widest here.
+"""
+
+import pytest
+
+from conftest import bench_execution, structured_workload
+
+METHODS = ["straightforward", "early", "reordering", "bucket"]
+
+
+@pytest.mark.parametrize("order", [3, 4])
+@pytest.mark.parametrize("method", METHODS)
+def test_boolean_small(benchmark, method, order):
+    query, database = structured_workload("augmented_circular_ladder", order)
+    bench_execution(
+        benchmark, f"fig9 augcircladder order={order}", method, query, database
+    )
+
+
+@pytest.mark.parametrize("order", [5])
+@pytest.mark.parametrize("method", ["early", "bucket"])
+def test_fast_methods_scale_further(benchmark, method, order):
+    # Early projection times out just past order 7 here too; bucket
+    # elimination alone carries the larger sizes.
+    query, database = structured_workload("augmented_circular_ladder", order)
+    bench_execution(
+        benchmark, f"fig9 augcircladder order={order} (fast methods)",
+        method, query, database,
+    )
+
+
+@pytest.mark.parametrize("order", [8, 11])
+def test_bucket_scales_further(benchmark, order):
+    query, database = structured_workload("augmented_circular_ladder", order)
+    bench_execution(
+        benchmark, f"fig9 augcircladder order={order} (bucket only)",
+        "bucket", query, database,
+    )
+
+
+@pytest.mark.parametrize("method", ["early", "bucket"])
+def test_non_boolean(benchmark, method):
+    query, database = structured_workload(
+        "augmented_circular_ladder", 4, free_fraction=0.2
+    )
+    bench_execution(
+        benchmark, "fig9 augcircladder nonboolean order=4",
+        method, query, database,
+    )

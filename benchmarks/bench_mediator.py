@@ -1,0 +1,54 @@
+"""The introduction's mediator motivation as a benchmark.
+
+Chains and stars of small heterogeneous sources (varying arities and
+cardinalities).  The expected shape: the structural methods handle many
+more sources than the listed order, and the planner simulator shows the
+naive form's compile blow-up on the same queries.
+"""
+
+import random
+
+import pytest
+
+from conftest import bench_execution
+
+from repro.sql.planner_sim import plan_naive
+from repro.workloads.mediator import chain_query, star_query
+
+STRUCTURAL = ["early", "reordering", "bucket"]
+
+
+@pytest.mark.parametrize("hops", [6, 10])
+@pytest.mark.parametrize("method", STRUCTURAL)
+def test_chain_execution(benchmark, method, hops):
+    query, database = chain_query(hops, random.Random(7))
+    bench_execution(
+        benchmark, f"mediator chain hops={hops}", method, query, database
+    )
+
+
+@pytest.mark.parametrize("method", ["straightforward"] + STRUCTURAL)
+def test_chain_small_all_methods(benchmark, method):
+    query, database = chain_query(4, random.Random(7))
+    bench_execution(
+        benchmark, "mediator chain hops=4 (all methods)", method, query, database
+    )
+
+
+@pytest.mark.parametrize("satellites", [5, 8])
+@pytest.mark.parametrize("method", STRUCTURAL)
+def test_star_execution(benchmark, method, satellites):
+    query, database = star_query(satellites, random.Random(9))
+    bench_execution(
+        benchmark, f"mediator star satellites={satellites}", method,
+        query, database,
+    )
+
+
+def test_naive_planner_on_mediator_chain(benchmark):
+    query, database = chain_query(14, random.Random(7))
+    benchmark.group = "mediator naive planning hops=14"
+    result = benchmark(
+        lambda: plan_naive(query, database, rng=random.Random(0))
+    )
+    assert result.strategy == "geqo"

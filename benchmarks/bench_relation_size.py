@@ -1,0 +1,43 @@
+"""Section 7 follow-up: scalability with respect to relation size.
+
+Fixed query structure (random k-COLOR graphs, order 10, density 2.0),
+growing database: ``k`` colors give a ``k*(k-1)``-tuple relation.  The
+paper asks for exactly this study; the expected shape is that bucket
+elimination's advantage *widens* as relations grow, because intermediate
+volume scales as ``|domain| ** arity``.
+"""
+
+import pytest
+
+from conftest import bench_execution
+
+from repro.workloads.coloring import coloring_instance
+from repro.workloads.graphs import random_graph
+
+import random
+
+METHODS = ["straightforward", "early", "reordering", "bucket"]
+
+
+def _instance(colors: int):
+    graph = random_graph(10, 20, random.Random(42))
+    instance = coloring_instance(graph, colors=colors)
+    return instance.query, instance.database
+
+
+@pytest.mark.parametrize("colors", [3, 4])
+@pytest.mark.parametrize("method", METHODS)
+def test_relation_size(benchmark, method, colors):
+    query, database = _instance(colors)
+    bench_execution(
+        benchmark, f"relsize colors={colors}", method, query, database
+    )
+
+
+@pytest.mark.parametrize("colors", [5, 6])
+def test_bucket_scales_with_relation_size(benchmark, colors):
+    query, database = _instance(colors)
+    bench_execution(
+        benchmark, f"relsize colors={colors} (bucket only)", "bucket",
+        query, database,
+    )

@@ -1,0 +1,79 @@
+"""Shared workload builders for the benchmark suite.
+
+Each ``bench_figN_*`` module regenerates one of the paper's figures as a
+pytest-benchmark group: the group's rows (method x workload point) are the
+series the figure plots.  Sizes are chosen so every benchmarked point
+completes in well under a second per round — the paper's slow methods are
+benchmarked at the sizes *they* can handle, exactly as its curves stop
+early — with a few bucket-only points at larger sizes to exhibit the
+scaling gap.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workloads.coloring import coloring_instance
+from repro.workloads.graphs import (
+    augmented_circular_ladder,
+    augmented_ladder,
+    augmented_path,
+    ladder,
+    random_graph,
+)
+from repro.workloads.sat import random_ksat, sat_instance
+
+
+def color_workload(order: int, density: float, seed: int = 0, free_fraction: float = 0.0):
+    """Deterministic random 3-COLOR workload (query, database)."""
+    rng = random.Random(seed * 7919 + order * 101 + round(density * 10))
+    graph = random_graph(order, round(density * order), rng)
+    instance = coloring_instance(
+        graph, free_fraction=free_fraction, rng=random.Random(seed)
+    )
+    return instance.query, instance.database
+
+
+def structured_workload(family: str, order: int, free_fraction: float = 0.0):
+    """Deterministic structured workload (query, database)."""
+    builders = {
+        "augmented_path": augmented_path,
+        "ladder": ladder,
+        "augmented_ladder": augmented_ladder,
+        "augmented_circular_ladder": augmented_circular_ladder,
+    }
+    graph = builders[family](order)
+    instance = coloring_instance(
+        graph, free_fraction=free_fraction, rng=random.Random(0)
+    )
+    return instance.query, instance.database
+
+
+def sat_workload(variables: int, density: float, width: int = 3, seed: int = 0):
+    """Deterministic random k-SAT workload (query, database)."""
+    rng = random.Random(seed * 104729 + variables * 13 + round(density * 10))
+    formula = random_ksat(variables, round(density * variables), rng, width=width)
+    return sat_instance(formula)
+
+
+def bench_execution(benchmark, group: str, method: str, query, database):
+    """Benchmark one method on one workload point: plan once (planning is
+    the cheap part the paper does not chart), benchmark execution, and
+    sanity-check the answer agrees with bucket elimination."""
+    from repro.core.planner import plan_query
+    from repro.relalg.engine import Engine
+
+    plan = plan_query(query, method, rng=random.Random(0))
+    engine = Engine(database)
+    benchmark.group = group
+    result = benchmark(lambda: engine.execute(plan))
+    reference = engine.execute(plan_query(query, "bucket", rng=random.Random(0)))
+    assert result == reference
+    return result
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)

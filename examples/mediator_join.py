@@ -1,0 +1,79 @@
+"""A mediator-style large join: many small sources, one big query.
+
+The paper's introduction motivates its setup with mediator-based systems
+(Yerneni et al.): a mediator answers one query by joining many small
+relations exported by different sources, so join queries with dozens of
+atoms over small relations are the norm — exactly where cost-based
+planning collapses and structure-based planning shines.
+
+Here a travel mediator joins per-leg flight fragments from many regional
+sources to find multi-hop itineraries.  Each source exports a tiny
+``leg_i(from, to)`` relation; the mediator's query chains them.  We
+compare the straightforward plan with bucket elimination and show the
+planner-simulator compile cost for the naive form of the same query.
+
+Run with::
+
+    python examples/mediator_join.py
+"""
+
+import random
+
+from repro import Atom, ConjunctiveQuery, Database, Relation, evaluate, plan_query
+from repro.sql import plan_naive, plan_straightforward
+
+CITIES = ["AUS", "HOU", "DFW", "ORD", "JFK", "LAX", "SEA", "SFO", "DEN", "ATL"]
+HOPS = 12
+SOURCES = 6
+
+
+def build_sources(rng: random.Random) -> Database:
+    """Each regional source exports a small random set of direct legs."""
+    database = Database()
+    for source in range(SOURCES):
+        legs = set()
+        while len(legs) < 8:
+            a, b = rng.sample(CITIES, 2)
+            legs.add((a, b))
+        database.add(f"leg{source + 1}", Relation(("orig", "dest"), legs))
+    return database
+
+
+def build_itinerary_query(rng: random.Random) -> ConjunctiveQuery:
+    """A HOPS-leg itinerary where each hop may come from any source the
+    mediator routes it to; endpoints of the trip stay free."""
+    atoms = []
+    for hop in range(HOPS):
+        source = rng.randrange(SOURCES) + 1
+        atoms.append(Atom(f"leg{source}", (f"city{hop}", f"city{hop + 1}")))
+    return ConjunctiveQuery(
+        atoms=tuple(atoms), free_variables=("city0", f"city{HOPS}")
+    )
+
+
+def main() -> None:
+    rng = random.Random(11)
+    database = build_sources(rng)
+    query = build_itinerary_query(rng)
+    print(f"mediator query: {len(query.atoms)} joins over {SOURCES} sources")
+    print()
+
+    for method in ("straightforward", "early", "bucket"):
+        plan = plan_query(query, method)
+        result, stats = evaluate(plan, database)
+        print(
+            f"{method:>16}: {result.cardinality:>3} itinerary endpoints, "
+            f"max arity {stats.max_intermediate_arity}, "
+            f"{stats.total_intermediate_tuples} intermediate tuples"
+        )
+    print()
+
+    naive = plan_naive(query, database, rng=random.Random(0))
+    straight = plan_straightforward(query, database)
+    print("planner effort for the same query (Figure 2's phenomenon):")
+    print(f"  naive form  : {naive.plans_costed} candidate joins costed ({naive.strategy})")
+    print(f"  pinned order: {straight.plans_costed} costed (order given in the SQL)")
+
+
+if __name__ == "__main__":
+    main()

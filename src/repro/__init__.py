@@ -1,0 +1,105 @@
+"""repro — reproduction of "Projection Pushing Revisited" (EDBT 2004).
+
+Structural optimization of project-join (conjunctive) queries: projection
+pushing, greedy join reordering, and bucket elimination, with the
+join-width/treewidth theory (Theorems 1 and 2) implemented and tested, an
+in-memory relational engine plus SQL-subset pipeline standing in for the
+paper's PostgreSQL backend, the paper's 3-COLOR/SAT workloads, and a
+harness that regenerates every figure.
+
+Quickstart::
+
+    from repro import coloring_instance, pentagon, plan_query, evaluate
+
+    instance = coloring_instance(pentagon())
+    plan = plan_query(instance.query, "bucket")
+    result, stats = evaluate(plan, instance.database)
+    print(result.cardinality, stats.max_intermediate_arity)
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.relalg` — relations, database, engine, work counters;
+- :mod:`repro.plans` — logical project-join plans;
+- :mod:`repro.core` — the structural optimizers and the theory;
+- :mod:`repro.sql` — SQL generation/parsing/execution/planner simulation;
+- :mod:`repro.workloads` — 3-COLOR, k-SAT, and generic CSP instances;
+- :mod:`repro.experiments` — per-figure series builders and reporting.
+"""
+
+from repro.datalog import parse_program, parse_rule, render_datalog
+from repro.core import (
+    Atom,
+    ConjunctiveQuery,
+    Const,
+    METHODS,
+    bucket_elimination_plan,
+    early_projection_plan,
+    join_graph,
+    plan_query,
+    reordering_plan,
+    straightforward_plan,
+)
+from repro.errors import ReproError
+from repro.explain import ExplainResult, explain
+from repro.plans import Join, Plan, Project, Scan, plan_width, pretty_plan
+from repro.rewrite import normalize, rewrite_plan
+from repro.relalg import Database, Engine, ExecutionStats, Relation, edge_database, evaluate
+from repro.sql import execute_with_stats, generate_sql, parse
+from repro.workloads import (
+    coloring_instance,
+    coloring_query,
+    pentagon,
+    random_graph,
+    random_ksat,
+    sat_instance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # queries and planning
+    "Atom",
+    "Const",
+    "ConjunctiveQuery",
+    "join_graph",
+    "plan_query",
+    "METHODS",
+    "straightforward_plan",
+    "early_projection_plan",
+    "reordering_plan",
+    "bucket_elimination_plan",
+    # plans
+    "Plan",
+    "Scan",
+    "Join",
+    "Project",
+    "plan_width",
+    "pretty_plan",
+    "explain",
+    "ExplainResult",
+    "normalize",
+    "rewrite_plan",
+    "parse_rule",
+    "parse_program",
+    "render_datalog",
+    # engine
+    "Relation",
+    "Database",
+    "Engine",
+    "ExecutionStats",
+    "edge_database",
+    "evaluate",
+    # SQL pipeline
+    "generate_sql",
+    "parse",
+    "execute_with_stats",
+    # workloads
+    "coloring_instance",
+    "coloring_query",
+    "pentagon",
+    "random_graph",
+    "random_ksat",
+    "sat_instance",
+]

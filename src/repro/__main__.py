@@ -1,0 +1,212 @@
+"""Top-level command line: plan, run, and analyze conjunctive queries.
+
+Queries are written as Datalog rules; databases are directories of CSV
+files (one per relation, header row = column names).
+
+Examples::
+
+    python -m repro sql "q(X) :- edge(X, Y), edge(Y, Z)." --method bucket
+    python -m repro plan "q(X) :- edge(X, Y), edge(Y, Z)." --dot
+    python -m repro run  "q(X) :- edge(X, Y), edge(Y, Z)." --db ./data
+    python -m repro analyze "q() :- edge(X, Y), edge(Y, Z), edge(Z, X)."
+    python -m repro minimize "q(X) :- edge(X, Y), edge(X, Z)."
+
+(`python -m repro.experiments <figure>` regenerates the paper's figures.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.core.planner import METHODS, plan_query
+from repro.datalog import parse_rule, render_datalog
+from repro.plans import plan_width, pretty_plan
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    """The `python -m repro` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Structural optimization of conjunctive queries "
+        "(reproduction of 'Projection Pushing Revisited', EDBT 2004).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser, with_method: bool = True) -> None:
+        sub.add_argument("rule", help="Datalog rule, e.g. 'q(X) :- edge(X, Y).'")
+        if with_method:
+            sub.add_argument(
+                "--method",
+                choices=METHODS,
+                default="bucket",
+                help="planning method (default: bucket elimination)",
+            )
+        sub.add_argument("--seed", type=int, default=0, help="tie-break seed")
+
+    plan_cmd = commands.add_parser("plan", help="show the chosen plan")
+    add_common(plan_cmd)
+    plan_cmd.add_argument("--dot", action="store_true", help="emit graphviz DOT")
+
+    sql_cmd = commands.add_parser("sql", help="emit the method's SQL")
+    add_common(sql_cmd)
+
+    run_cmd = commands.add_parser("run", help="execute against a CSV database")
+    add_common(run_cmd)
+    run_cmd.add_argument(
+        "--db", help="directory of <relation>.csv files"
+    )
+    run_cmd.add_argument(
+        "--explain", action="store_true", help="print EXPLAIN ANALYZE output"
+    )
+
+    program_cmd = commands.add_parser(
+        "program", help="run a self-contained Datalog program file "
+        "(facts + one query rule)"
+    )
+    program_cmd.add_argument("path", help="program file (facts + one rule)")
+    program_cmd.add_argument(
+        "--method", choices=METHODS, default="bucket",
+        help="planning method (default: bucket elimination)",
+    )
+    program_cmd.add_argument("--seed", type=int, default=0, help="tie-break seed")
+
+    analyze_cmd = commands.add_parser(
+        "analyze", help="structural report: widths, acyclicity, orders"
+    )
+    add_common(analyze_cmd, with_method=False)
+
+    minimize_cmd = commands.add_parser(
+        "minimize", help="Chandra-Merlin join minimization"
+    )
+    add_common(minimize_cmd, with_method=False)
+    return parser
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    query = parse_rule(args.rule)
+    plan = plan_query(query, args.method, rng=random.Random(args.seed))
+    if args.dot:
+        from repro.viz import plan_to_dot
+
+        print(plan_to_dot(plan))
+    else:
+        print(f"method: {args.method}, width: {plan_width(plan)}")
+        print(pretty_plan(plan))
+    return 0
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    from repro.sql.generator import generate_sql
+
+    query = parse_rule(args.rule)
+    method = "straightforward" if args.method == "jointree" else args.method
+    print(generate_sql(query, method, rng=random.Random(args.seed)))
+    return 0
+
+
+def _cmd_program(args: argparse.Namespace) -> int:
+    from repro.datalog import parse_program
+    from repro.relalg.engine import evaluate
+
+    with open(args.path) as handle:
+        query, database = parse_program(handle.read())
+    plan = plan_query(query, args.method, rng=random.Random(args.seed))
+    result, stats = evaluate(plan, database)
+    print(result.pretty())
+    print(
+        f"-- {result.cardinality} rows, "
+        f"{stats.total_intermediate_tuples} intermediate tuples, "
+        f"max arity {stats.max_intermediate_arity}"
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.relalg.engine import evaluate
+    from repro.relalg.io import load_database
+
+    if args.db is None:
+        print("error: --db is required for 'run' (or use 'program')", file=sys.stderr)
+        return 2
+    query = parse_rule(args.rule)
+    database = load_database(args.db)
+    plan = plan_query(query, args.method, rng=random.Random(args.seed))
+    if args.explain:
+        from repro.explain import explain
+
+        result = explain(plan, database)
+        print(result.render())
+        print(f"-- {result.result.cardinality} rows")
+        return 0
+    result, stats = evaluate(plan, database)
+    print(result.pretty())
+    print(
+        f"-- {result.cardinality} rows, "
+        f"{stats.total_intermediate_tuples} intermediate tuples, "
+        f"max arity {stats.max_intermediate_arity}"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.hypertree import ghw_upper_bound
+    from repro.core.join_graph import join_graph
+    from repro.core.ordering import induced_width, mcs_order
+    from repro.core.semijoins import is_acyclic
+    from repro.core.treewidth import (
+        EXACT_NODE_LIMIT,
+        treewidth_exact,
+        treewidth_lower_bound,
+        treewidth_upper_bound,
+    )
+
+    query = parse_rule(args.rule)
+    graph = join_graph(query)
+    print(f"query          : {render_datalog(query)}")
+    print(f"atoms          : {len(query.atoms)}")
+    print(f"variables      : {len(query.variables)}")
+    print(f"acyclic (GYO)  : {is_acyclic(query)}")
+    mcs = mcs_order(graph, initial=tuple(query.free_variables))
+    print(f"MCS induced w. : {induced_width(graph, mcs)}")
+    if graph.number_of_nodes() <= EXACT_NODE_LIMIT:
+        tw = treewidth_exact(graph)
+        print(f"treewidth      : {tw} (exact; optimal arity = {tw + 1})")
+    else:
+        print(
+            "treewidth      : in "
+            f"[{treewidth_lower_bound(graph)}, {treewidth_upper_bound(graph)}] "
+            "(bounds; graph too large for exact)"
+        )
+    print(f"GHW (bound)    : {ghw_upper_bound(query)}")
+    return 0
+
+
+def _cmd_minimize(args: argparse.Namespace) -> int:
+    from repro.core.containment import minimize
+
+    query = parse_rule(args.rule)
+    minimal = minimize(query)
+    print(render_datalog(minimal))
+    saved = len(query.atoms) - len(minimal.atoms)
+    print(f"-- {saved} join(s) removed" if saved else "-- already minimal")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_argument_parser().parse_args(argv)
+    handlers = {
+        "plan": _cmd_plan,
+        "sql": _cmd_sql,
+        "run": _cmd_run,
+        "program": _cmd_program,
+        "analyze": _cmd_analyze,
+        "minimize": _cmd_minimize,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Structural query optimization — the paper's primary contribution.
+
+Public surface:
+
+- :class:`~repro.core.query.ConjunctiveQuery` / :class:`~repro.core.query.Atom`
+  — the project-join query model;
+- :func:`~repro.core.join_graph.join_graph` — attributes-as-nodes,
+  schemes-as-cliques (plus the target-schema clique);
+- :mod:`~repro.core.ordering` — MCS / min-degree / min-fill numberings and
+  induced width;
+- :mod:`~repro.core.treewidth` — exact treewidth for small graphs, bounds;
+- :class:`~repro.core.tree_decomposition.TreeDecomposition` and
+  :class:`~repro.core.join_tree.JoinExpressionTree` with Algorithms 1–3
+  (Theorem 1);
+- :func:`~repro.core.buckets.bucket_elimination_plan` (Theorem 2);
+- :func:`~repro.core.planner.plan_query` — one facade over the paper's
+  methods.
+"""
+
+from repro.core.buckets import BucketPlan, BucketTrace, bucket_elimination_plan, mcs_bucket_order
+from repro.core.containment import (
+    CanonicalDatabase,
+    are_equivalent,
+    canonical_database,
+    homomorphism_exists,
+    is_contained,
+    minimize,
+)
+from repro.core.early_projection import early_projection_plan, straightforward_plan
+from repro.core.hypertree import (
+    cover_number,
+    generalized_hypertree_width_of,
+    ghw_upper_bound,
+    is_width_one,
+)
+from repro.core.join_graph import join_graph
+from repro.core.join_tree import (
+    JoinExpressionTree,
+    jet_to_plan,
+    jet_to_tree_decomposition,
+    mark_and_sweep,
+    optimal_jet,
+    tree_decomposition_to_jet,
+)
+from repro.core.minibuckets import MiniBucketPlan, MiniBucketStep, mini_bucket_plan
+from repro.core.ordering import (
+    ORDER_HEURISTICS,
+    induced_width,
+    mcs_order,
+    min_degree_order,
+    min_fill_order,
+    random_order,
+)
+from repro.core.planner import METHODS, plan_query
+from repro.core.query import Atom, ConjunctiveQuery, Const
+from repro.core.reordering import greedy_atom_order, reordering_plan
+from repro.core.semijoins import (
+    AtomJoinTree,
+    gyo_reduction,
+    is_acyclic,
+    semijoin_reduce,
+    yannakakis_evaluate,
+)
+from repro.core.tree_decomposition import (
+    TreeDecomposition,
+    from_elimination_order,
+    trivial_decomposition,
+)
+from repro.core.weighted import (
+    min_weighted_fill_order,
+    weighted_induced_width,
+    weighted_plan_cost,
+)
+from repro.core.treewidth import (
+    treewidth_exact,
+    treewidth_exact_order,
+    treewidth_lower_bound,
+    treewidth_upper_bound,
+)
+
+__all__ = [
+    "Atom",
+    "Const",
+    "ConjunctiveQuery",
+    "join_graph",
+    "mcs_order",
+    "min_degree_order",
+    "min_fill_order",
+    "random_order",
+    "induced_width",
+    "ORDER_HEURISTICS",
+    "treewidth_exact",
+    "treewidth_exact_order",
+    "treewidth_lower_bound",
+    "treewidth_upper_bound",
+    "TreeDecomposition",
+    "from_elimination_order",
+    "trivial_decomposition",
+    "JoinExpressionTree",
+    "jet_to_tree_decomposition",
+    "mark_and_sweep",
+    "tree_decomposition_to_jet",
+    "jet_to_plan",
+    "optimal_jet",
+    "BucketPlan",
+    "BucketTrace",
+    "bucket_elimination_plan",
+    "mcs_bucket_order",
+    "straightforward_plan",
+    "early_projection_plan",
+    "reordering_plan",
+    "greedy_atom_order",
+    "plan_query",
+    "METHODS",
+    "AtomJoinTree",
+    "gyo_reduction",
+    "is_acyclic",
+    "semijoin_reduce",
+    "yannakakis_evaluate",
+    "MiniBucketPlan",
+    "MiniBucketStep",
+    "mini_bucket_plan",
+    "CanonicalDatabase",
+    "canonical_database",
+    "is_contained",
+    "are_equivalent",
+    "homomorphism_exists",
+    "minimize",
+    "weighted_induced_width",
+    "min_weighted_fill_order",
+    "weighted_plan_cost",
+    "cover_number",
+    "generalized_hypertree_width_of",
+    "ghw_upper_bound",
+    "is_width_one",
+]

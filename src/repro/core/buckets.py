@@ -1,0 +1,187 @@
+"""Bucket elimination for project-join queries (Section 5 of the paper).
+
+Given a numbering ``x1, ..., xn`` of the query's variables, each atom is
+placed in the bucket of its highest-numbered variable.  Buckets are then
+processed from ``xn`` down to ``x1``: the residents of bucket ``i`` are
+joined, ``xi`` is projected out (unless it is free), and the result moves
+to the bucket of its new highest-numbered variable.  Whatever survives the
+descending pass is joined and projected onto the target schema.
+
+The maximum arity produced along the way is the *induced width* of the
+process; Theorem 2 says its minimum over numberings equals the treewidth
+of the join graph, so bucket elimination with a good numbering achieves
+the Theorem 1 optimum.  The paper (and this implementation by default)
+uses the MCS numbering with the target schema numbered first.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.join_graph import join_graph
+from repro.core.ordering import ORDER_HEURISTICS, mcs_order
+from repro.core.query import ConjunctiveQuery
+from repro.errors import OrderingError
+from repro.plans import Join, Plan, Project
+
+
+@dataclass(frozen=True)
+class BucketTrace:
+    """One processed bucket, for introspection and tests.
+
+    Attributes
+    ----------
+    variable:
+        The bucket's variable (eliminated here unless free).
+    resident_count:
+        How many relations (atoms + earlier bucket results) were joined.
+    output_columns:
+        Schema of the bucket's result after projection.
+    """
+
+    variable: str
+    resident_count: int
+    output_columns: tuple[str, ...]
+
+
+@dataclass
+class BucketPlan:
+    """Result of bucket-elimination planning: the executable plan plus the
+    numbering used and a per-bucket trace."""
+
+    plan: Plan
+    order: list[str]
+    trace: list[BucketTrace]
+
+    @property
+    def induced_width(self) -> int:
+        """Largest arity of a relation computed by the bucket pass (the
+        paper's induced width of the process).  Theorem 2: minimized over
+        numberings this equals the treewidth of the join graph."""
+        if not self.trace:
+            return 0
+        return max(len(step.output_columns) for step in self.trace)
+
+
+def bucket_elimination_plan(
+    query: ConjunctiveQuery,
+    order: Sequence[str] | None = None,
+    heuristic: str = "mcs",
+    rng: random.Random | None = None,
+) -> BucketPlan:
+    """Plan ``query`` by bucket elimination.
+
+    Parameters
+    ----------
+    order:
+        Explicit numbering ``x1..xn`` of *all* query variables.  Free
+        variables must be numbered before every bound variable (the paper
+        selects them as the initial variables of MCS).  When omitted, the
+        numbering comes from ``heuristic``.
+    heuristic:
+        One of ``mcs`` (paper default), ``min_degree``, ``min_fill``,
+        ``random`` — see :mod:`repro.core.ordering`.
+    rng:
+        Tie-breaking randomness for the heuristic.
+    """
+    if order is None:
+        graph = join_graph(query)
+        try:
+            heuristic_fn = ORDER_HEURISTICS[heuristic]
+        except KeyError:
+            raise OrderingError(
+                f"unknown ordering heuristic {heuristic!r}; "
+                f"expected one of {sorted(ORDER_HEURISTICS)}"
+            ) from None
+        order = heuristic_fn(graph, initial=tuple(query.free_variables), rng=rng)
+    order = list(order)
+    _check_numbering(query, order)
+    position = {variable: index for index, variable in enumerate(order)}
+    free = set(query.free_variables)
+
+    # Bucket i holds plans whose highest-numbered variable is order[i].
+    buckets: dict[int, list[Plan]] = {i: [] for i in range(len(order))}
+    finals: list[Plan] = []  # plans with no variables left to route by
+
+    def route(plan: Plan, below: int) -> None:
+        """Place ``plan`` into the bucket of its highest-numbered variable
+        strictly below index ``below`` (or into the final pool)."""
+        candidates = [position[c] for c in plan.columns if position[c] < below]
+        if candidates:
+            buckets[max(candidates)].append(plan)
+        else:
+            finals.append(plan)
+
+    for atom in query.atoms:
+        scan = atom.to_scan()
+        indices = [position[v] for v in scan.columns]
+        if indices:
+            buckets[max(indices)].append(scan)
+        else:
+            finals.append(scan)  # all-constant atom
+
+    trace: list[BucketTrace] = []
+    for i in range(len(order) - 1, -1, -1):
+        residents = buckets[i]
+        if not residents:
+            continue
+        variable = order[i]
+        joined = residents[0]
+        for resident in residents[1:]:
+            joined = Join(joined, resident)
+        if variable in free:
+            result: Plan = joined
+        else:
+            keep = tuple(c for c in joined.columns if c != variable)
+            if not keep:
+                # All residents mention only this variable (an isolated
+                # component with the target schema elsewhere).  Keep the
+                # variable as a witness: SQL cannot select zero columns,
+                # and the final projection drops it anyway.
+                keep = (variable,)
+            result = Project(joined, keep) if keep != joined.columns else joined
+        trace.append(
+            BucketTrace(
+                variable=variable,
+                resident_count=len(residents),
+                output_columns=result.columns,
+            )
+        )
+        route(result, i)
+
+    # Join whatever survived (several pieces when the join graph is
+    # disconnected or free buckets each produced a remnant), then project
+    # onto the target schema.
+    assert finals, "bucket pass always leaves at least one final relation"
+    plan = finals[0]
+    for extra in finals[1:]:
+        plan = Join(plan, extra)
+    target = tuple(query.free_variables)
+    if plan.columns != target:
+        plan = Project(plan, target)
+    return BucketPlan(plan=plan, order=order, trace=trace)
+
+
+def _check_numbering(query: ConjunctiveQuery, order: list[str]) -> None:
+    if set(order) != set(query.variables) or len(order) != len(query.variables):
+        raise OrderingError(
+            "order must number every query variable exactly once"
+        )
+    position = {variable: index for index, variable in enumerate(order)}
+    bound_positions = [position[v] for v in query.bound_variables]
+    free_positions = [position[v] for v in query.free_variables]
+    if free_positions and bound_positions and max(free_positions) > min(bound_positions):
+        raise OrderingError(
+            "free variables must be numbered before all bound variables "
+            "(the descending bucket pass eliminates them last)"
+        )
+
+
+def mcs_bucket_order(
+    query: ConjunctiveQuery, rng: random.Random | None = None
+) -> list[str]:
+    """The paper's numbering: MCS on the join graph with the target schema
+    as initial variables."""
+    return mcs_order(join_graph(query), initial=tuple(query.free_variables), rng=rng)

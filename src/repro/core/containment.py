@@ -1,0 +1,164 @@
+"""Conjunctive-query containment and minimization (Chandra–Merlin).
+
+The paper's introduction contrasts structural optimization with the
+Chandra–Merlin approach of *minimizing the number of joins*, and its
+conclusions (Section 7) note that join minimization reduces to evaluating
+a conjunctive query over a *canonical query database* — "the techniques
+in this paper should be applicable to the minimization problem".  This
+module closes that loop using the repo's own machinery:
+
+- :func:`canonical_database` freezes a query into a database (each
+  variable becomes a constant, each atom a tuple);
+- :func:`is_contained` decides ``Q1 ⊆ Q2`` by evaluating ``Q2`` over
+  ``Q1``'s canonical database with any of the paper's planning methods
+  (bucket elimination by default) and checking for the frozen head;
+- :func:`minimize` computes a core: greedily drops atoms while the query
+  stays equivalent, yielding a minimal join — the Chandra–Merlin
+  optimization, powered by structural evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.planner import plan_query
+from repro.core.query import Atom, ConjunctiveQuery, Const
+from repro.errors import QueryStructureError
+from repro.relalg.database import Database
+from repro.relalg.engine import evaluate
+from repro.relalg.relation import Relation
+
+
+@dataclass(frozen=True)
+class CanonicalDatabase:
+    """A query frozen into data: the canonical database plus the tuple of
+    constants standing for the head (free) variables."""
+
+    database: Database
+    frozen_head: tuple[object, ...]
+
+
+def _freeze(variable: str) -> str:
+    """The constant standing for ``variable`` in the canonical database."""
+    return f"«{variable}»"
+
+
+def canonical_database(query: ConjunctiveQuery) -> CanonicalDatabase:
+    """Build the canonical database of ``query``.
+
+    Every variable ``v`` becomes the constant ``«v»``; every atom becomes
+    one tuple of its relation.  ``Q1 ⊆ Q2`` iff ``Q2`` over this database
+    yields the frozen head of ``Q1`` — the Chandra–Merlin theorem.
+    """
+    rows_by_relation: dict[str, list[tuple[object, ...]]] = {}
+    arity_by_relation: dict[str, int] = {}
+    for atom in query.atoms:
+        row = tuple(
+            _freeze(term) if isinstance(term, str) else term.value
+            for term in atom.terms
+        )
+        expected = arity_by_relation.setdefault(atom.relation, len(row))
+        if expected != len(row):
+            raise QueryStructureError(
+                f"relation {atom.relation!r} used with arities "
+                f"{expected} and {len(row)}"
+            )
+        rows_by_relation.setdefault(atom.relation, []).append(row)
+    database = Database()
+    for name, rows in rows_by_relation.items():
+        columns = tuple(f"a{i + 1}" for i in range(arity_by_relation[name]))
+        database.add(name, Relation(columns, rows))
+    head = tuple(_freeze(v) for v in query.free_variables)
+    return CanonicalDatabase(database=database, frozen_head=head)
+
+
+def _answers(
+    query: ConjunctiveQuery, database: Database, method: str
+) -> Relation:
+    result, _ = evaluate(plan_query(query, method), database)
+    return result
+
+
+def is_contained(
+    q1: ConjunctiveQuery,
+    q2: ConjunctiveQuery,
+    method: str = "bucket",
+) -> bool:
+    """Whether ``Q1 ⊆ Q2`` (every database's ``Q1`` answers are ``Q2``
+    answers).
+
+    Requires the two queries to share their target schema.  Decided by
+    the Chandra–Merlin homomorphism criterion, evaluated structurally:
+    build ``Q1``'s canonical database, run ``Q2`` over it with the chosen
+    planning method, and look for ``Q1``'s frozen head.  (This *is* the
+    NP-hard homomorphism test — the point, per the paper, is that
+    bucket elimination makes it practical when ``Q2``'s join graph has
+    small treewidth.)
+    """
+    if tuple(q1.free_variables) != tuple(q2.free_variables):
+        raise QueryStructureError(
+            "containment requires identical target schemas; got "
+            f"{q1.free_variables!r} vs {q2.free_variables!r}"
+        )
+    canonical = canonical_database(q1)
+    missing = q2.relation_names() - set(canonical.database.names())
+    if missing:
+        return False  # Q2 uses a relation Q1 never populates
+    result = _answers(q2, canonical.database, method)
+    if q2.is_boolean:
+        return not result.is_empty()
+    return canonical.frozen_head in result.reorder(tuple(q2.free_variables)).rows
+
+
+def are_equivalent(
+    q1: ConjunctiveQuery, q2: ConjunctiveQuery, method: str = "bucket"
+) -> bool:
+    """Mutual containment."""
+    return is_contained(q1, q2, method) and is_contained(q2, q1, method)
+
+
+def minimize(query: ConjunctiveQuery, method: str = "bucket") -> ConjunctiveQuery:
+    """Compute a minimal equivalent query (a *core*).
+
+    Greedy atom elimination: repeatedly drop an atom whose removal leaves
+    an equivalent query.  For conjunctive queries the greedy order does
+    not affect minimality — the result is a core, unique up to renaming
+    (Chandra–Merlin).  Atoms whose variables include free variables that
+    would otherwise vanish are never droppable (the candidate must remain
+    a well-formed query).
+    """
+    current = query
+    changed = True
+    while changed and len(current.atoms) > 1:
+        changed = False
+        for index in range(len(current.atoms)):
+            remaining = (
+                current.atoms[:index] + current.atoms[index + 1 :]
+            )
+            candidate_vars = set()
+            for atom in remaining:
+                candidate_vars.update(atom.variable_set)
+            if not set(current.free_variables) <= candidate_vars:
+                continue
+            candidate = ConjunctiveQuery(
+                atoms=remaining, free_variables=current.free_variables
+            )
+            # Dropping atoms only relaxes the query (current ⊆ candidate
+            # always); equivalence needs the other direction.
+            if is_contained(candidate, current, method):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def homomorphism_exists(
+    source: ConjunctiveQuery, target: ConjunctiveQuery, method: str = "bucket"
+) -> bool:
+    """Whether there is a homomorphism from ``source``'s atoms into
+    ``target``'s atoms fixing the (shared) free variables — the raw
+    Chandra–Merlin test, exposed for direct use.
+
+    Equivalent to ``is_contained(target, source)``.
+    """
+    return is_contained(target, source, method)

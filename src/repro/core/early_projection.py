@@ -1,0 +1,79 @@
+"""Early projection (projection pushing) along a linear atom order.
+
+Section 4 of the paper: evaluating ``π_{v1}(e1 ⋈ e2 ⋈ ... ⋈ em)`` left to
+right, a variable can be projected out as soon as the last atom containing
+it has been joined — ``max_occur`` in the paper's implementation notes.
+Free variables are kept live throughout (the paper sets their
+``max_occur`` past the end).
+
+The output is a :mod:`repro.plans` tree: a left-deep join chain with
+projection nodes inserted at each point where variables die.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import ConjunctiveQuery
+from repro.plans import Join, Plan, Project
+
+
+def straightforward_plan(query: ConjunctiveQuery) -> Plan:
+    """The paper's *straightforward* method: left-deep joins in listed
+    order, one final projection, no projection pushing.
+
+    (The *naive* method produces the same executed plan; the difference is
+    planner effort, which :mod:`repro.sql.planner_sim` models.)
+    """
+    plan: Plan = query.atoms[0].to_scan()
+    for atom in query.atoms[1:]:
+        plan = Join(plan, atom.to_scan())
+    return _final_projection(query, plan)
+
+
+def early_projection_plan(query: ConjunctiveQuery) -> Plan:
+    """Left-deep joins in listed order with projections pushed in.
+
+    After joining atom ``i``, every bound variable whose last occurrence is
+    atom ``i`` is projected out.  The paper's ``min_occur``/``max_occur``
+    bookkeeping reduces to exactly this.
+    """
+    max_occur = query.max_occurrence()
+    free = set(query.free_variables)
+    plan: Plan = query.atoms[0].to_scan()
+    live = set(query.atoms[0].variables)
+    for index, atom in enumerate(query.atoms):
+        if index > 0:
+            plan = Join(plan, atom.to_scan())
+            live.update(atom.variables)
+        dead = {
+            variable
+            for variable in live
+            if variable not in free and max_occur[variable] == index
+        }
+        if dead and index < len(query.atoms) - 1:
+            if dead == live:
+                # A component just finished and nothing else is live (the
+                # query is disconnected and the target schema lives
+                # elsewhere).  Keep one witness variable so the
+                # intermediate relation — and its SQL rendering, which
+                # cannot select zero columns — stays well-formed; the next
+                # projection drops it.
+                dead = dead - {min(dead)}
+            live -= dead
+            if dead:
+                plan = Project(plan, _ordered(query, plan, live))
+    return _final_projection(query, plan)
+
+
+def _ordered(query: ConjunctiveQuery, plan: Plan, keep: set[str]) -> tuple[str, ...]:
+    """Stable column order for intermediate projections: the child plan's
+    column order restricted to ``keep``."""
+    return tuple(column for column in plan.columns if column in keep)
+
+
+def _final_projection(query: ConjunctiveQuery, plan: Plan) -> Plan:
+    """Project onto the target schema (possibly 0-ary for Boolean queries),
+    skipping the node when it would be the identity."""
+    target = tuple(query.free_variables)
+    if plan.columns == target:
+        return plan
+    return Project(plan, target)

@@ -1,0 +1,127 @@
+"""Generalized hypertree width (the Gottlob–Leone–Scarcello direction).
+
+Section 7 lists hypertree width among the theory worth importing.  Where
+treewidth counts *variables* per bag, (generalized) hypertree width
+counts how many *atoms* are needed to cover a bag — the right measure
+when relations are wide: a single 10-ary atom gives treewidth 9 but
+hypertree width 1, and evaluation cost tracks the latter.
+
+This module computes:
+
+- :func:`cover_number` — minimum number of atom schemes covering a
+  variable set (exact branch-and-bound set cover; the bags in play are
+  small);
+- :func:`generalized_hypertree_width_of` — the GHW of a concrete tree
+  decomposition with respect to a query;
+- :func:`ghw_upper_bound` — GHW of the best decomposition among the
+  repo's ordering heuristics (+ exact treewidth order on small inputs),
+  an upper bound on the true generalized hypertree width;
+- :func:`is_width_one` — GHW 1 ⟺ α-acyclicity, cross-checkable against
+  the GYO test in :mod:`repro.core.semijoins`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.join_graph import join_graph
+from repro.core.ordering import mcs_order, min_degree_order, min_fill_order
+from repro.core.query import ConjunctiveQuery
+from repro.core.tree_decomposition import TreeDecomposition, from_elimination_order
+from repro.core.treewidth import EXACT_NODE_LIMIT, treewidth_exact_order
+from repro.errors import QueryStructureError
+
+
+def cover_number(
+    target: Iterable[str], schemes: list[frozenset[str]]
+) -> int:
+    """Minimum number of schemes whose union covers ``target``.
+
+    Exact branch and bound: repeatedly branch on the scheme covering the
+    most uncovered variables.  Raises when some variable appears in no
+    scheme (the target is not coverable).
+    """
+    remaining = frozenset(target)
+    if not remaining:
+        return 0
+    usable = [scheme & remaining for scheme in schemes]
+    usable = [scheme for scheme in usable if scheme]
+    coverable = frozenset().union(*usable) if usable else frozenset()
+    if not remaining <= coverable:
+        raise QueryStructureError(
+            f"variables {sorted(remaining - coverable)} appear in no scheme"
+        )
+    best = len(remaining)  # singleton schemes at worst... cap by |target|
+
+    def search(uncovered: frozenset[str], used: int) -> None:
+        nonlocal best
+        if not uncovered:
+            best = min(best, used)
+            return
+        if used + 1 >= best:
+            return
+        # Greedy lower bound: even the biggest scheme covers at most
+        # `biggest` variables per pick.
+        biggest = max(len(scheme & uncovered) for scheme in usable)
+        if used + -(-len(uncovered) // biggest) >= best:
+            return
+        # Branch on a deterministic uncovered variable: one of the schemes
+        # containing it must be picked.
+        pivot = min(uncovered)
+        for scheme in usable:
+            if pivot in scheme:
+                search(uncovered - scheme, used + 1)
+
+    search(remaining, 0)
+    return best
+
+
+def generalized_hypertree_width_of(
+    query: ConjunctiveQuery, decomposition: TreeDecomposition
+) -> int:
+    """GHW of ``decomposition`` w.r.t. ``query``: the largest bag's cover
+    number under the query's atom schemes (plus the target schema, which
+    — as in the join graph — behaves like an extra scheme)."""
+    schemes = [atom.variable_set for atom in query.atoms]
+    if query.free_variables:
+        schemes.append(frozenset(query.free_variables))
+    widest = 0
+    for bag in decomposition.bags.values():
+        widest = max(widest, cover_number(bag, schemes))
+    return widest
+
+
+def ghw_upper_bound(query: ConjunctiveQuery) -> int:
+    """GHW of the best tree decomposition found by the repo's heuristics
+    (and the exact-treewidth order when the join graph is small).
+
+    An upper bound on the true generalized hypertree width; equal to 1
+    exactly when some considered decomposition is atom-coverable bag by
+    bag with single atoms — which the α-acyclicity cross-check test ties
+    to GYO.
+    """
+    graph = join_graph(query)
+    candidates = []
+    for heuristic in (min_fill_order, min_degree_order, mcs_order):
+        candidates.append(heuristic(graph))
+    if graph.number_of_nodes() <= EXACT_NODE_LIMIT:
+        _, exact_order = treewidth_exact_order(
+            graph, pinned_first=frozenset(query.free_variables)
+        )
+        candidates.append(exact_order)
+    best = len(query.atoms)
+    for order in candidates:
+        decomposition = from_elimination_order(graph, order)
+        best = min(best, generalized_hypertree_width_of(query, decomposition))
+    return max(best, 1)
+
+
+def is_width_one(query: ConjunctiveQuery) -> bool:
+    """Whether the heuristic GHW bound is 1.
+
+    GHW(Q) = 1 ⟺ Q is α-acyclic; on acyclic queries the heuristic
+    decompositions do reach width 1 (their bags are atom fronts), so this
+    agrees with :func:`repro.core.semijoins.is_acyclic` in practice —
+    the cross-check lives in the tests.
+    """
+    return ghw_upper_bound(query) == 1

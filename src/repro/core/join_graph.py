@@ -1,0 +1,52 @@
+"""The join graph of a project-join query.
+
+Section 5 of the paper: the join graph ``G_Q`` has the query's attributes
+as nodes; every relation scheme contributes a clique over its attributes,
+and the target schema contributes one more clique (so that free variables,
+which must all survive to the final result, are forced into a common bag of
+any tree decomposition).
+
+The treewidth of this graph characterizes the power of projection pushing
+and join reordering: Theorem 1 says the join width of the query is exactly
+``tw(G_Q) + 1``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import networkx as nx
+
+from repro.core.query import ConjunctiveQuery
+
+
+def join_graph(query: ConjunctiveQuery) -> nx.Graph:
+    """Build the join graph ``G_Q`` of ``query``.
+
+    Nodes are variable names.  Each atom yields a clique over its
+    variables; the target schema yields an additional clique.  Isolated
+    variables (atoms of arity one) are still added as nodes.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(query.variables)
+    for atom in query.atoms:
+        variables = atom.variables
+        graph.add_nodes_from(variables)
+        graph.add_edges_from(combinations(variables, 2))
+    graph.add_edges_from(combinations(query.free_variables, 2))
+    return graph
+
+
+def primal_graph_of_cliques(cliques: list[tuple[str, ...]]) -> nx.Graph:
+    """Build a graph from explicit cliques (used by tests and the SAT
+    workload, whose constraint scopes play the role of relation schemes)."""
+    graph = nx.Graph()
+    for clique in cliques:
+        graph.add_nodes_from(clique)
+        graph.add_edges_from(combinations(clique, 2))
+    return graph
+
+
+def is_clique(graph: nx.Graph, nodes: frozenset[str] | set[str]) -> bool:
+    """Whether ``nodes`` induce a clique in ``graph``."""
+    return all(graph.has_edge(u, v) for u, v in combinations(nodes, 2))

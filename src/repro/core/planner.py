@@ -1,0 +1,103 @@
+"""Unified planning facade: one entry point for the paper's methods.
+
+``plan_query(query, method)`` compiles a conjunctive query into an
+executable :mod:`repro.plans` tree using any of:
+
+- ``"straightforward"`` — left-deep joins in listed order (Section 3);
+  the *naive* method executes the same plan, differing only in planner
+  effort, which :mod:`repro.sql.planner_sim` models separately;
+- ``"early"`` — early projection along the listed order (Section 4);
+- ``"reordering"`` — greedy atom reorder + early projection (Section 4);
+- ``"bucket"`` — bucket elimination with the MCS numbering (Section 5);
+- ``"jointree"`` — width-optimal join-expression tree via exact treewidth
+  (Theorem 1; small queries only).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from typing import Callable
+
+from repro.core.buckets import bucket_elimination_plan
+from repro.core.early_projection import early_projection_plan, straightforward_plan
+from repro.core.join_tree import jet_to_plan, optimal_jet
+from repro.core.query import ConjunctiveQuery
+from repro.core.reordering import reordering_plan
+from repro.errors import PlanError
+from repro.plans import Plan
+
+#: Methods in the order the paper introduces them.
+METHODS: tuple[str, ...] = (
+    "straightforward",
+    "early",
+    "reordering",
+    "bucket",
+    "jointree",
+)
+
+#: Join-graph size below which ``auto`` affords exact treewidth.
+AUTO_EXACT_LIMIT = 14
+
+
+def plan_query(
+    query: ConjunctiveQuery,
+    method: str = "bucket",
+    rng: random.Random | None = None,
+    order: Sequence[str] | None = None,
+    heuristic: str = "mcs",
+) -> Plan:
+    """Compile ``query`` into a plan with the chosen method.
+
+    Parameters
+    ----------
+    query:
+        The project-join query.
+    method:
+        One of :data:`METHODS`, or ``"auto"``: exact-treewidth bucket
+        elimination for small join graphs (at most
+        :data:`AUTO_EXACT_LIMIT` variables), MCS bucket elimination
+        otherwise — the best default for callers who just want a plan.
+    rng:
+        Tie-breaking randomness for ``reordering`` and ``bucket``.
+    order:
+        Explicit variable numbering, honoured only by ``bucket``.
+    heuristic:
+        Variable-ordering heuristic for ``bucket`` (``mcs`` by default).
+    """
+    if method == "auto":
+        return _auto_plan(query, rng=rng)
+    builders: dict[str, Callable[[], Plan]] = {
+        "straightforward": lambda: straightforward_plan(query),
+        "early": lambda: early_projection_plan(query),
+        "reordering": lambda: reordering_plan(query, rng=rng),
+        "bucket": lambda: bucket_elimination_plan(
+            query, order=order, heuristic=heuristic, rng=rng
+        ).plan,
+        "jointree": lambda: jet_to_plan(optimal_jet(query)),
+    }
+    try:
+        builder = builders[method]
+    except KeyError:
+        raise PlanError(
+            f"unknown planning method {method!r}; expected one of "
+            f"{METHODS + ('auto',)}"
+        ) from None
+    return builder()
+
+
+def _auto_plan(query: ConjunctiveQuery, rng: random.Random | None) -> Plan:
+    """The ``auto`` policy: pay for exact treewidth when the join graph is
+    small enough that the subset DP is instant, fall back to the MCS
+    heuristic otherwise.  Either way the plan is bucket elimination —
+    the paper's uniformly dominant method."""
+    from repro.core.join_graph import join_graph
+    from repro.core.treewidth import treewidth_exact_order
+
+    if len(query.variables) <= AUTO_EXACT_LIMIT:
+        graph = join_graph(query)
+        _, exact_order = treewidth_exact_order(
+            graph, pinned_first=frozenset(query.free_variables)
+        )
+        return bucket_elimination_plan(query, order=exact_order).plan
+    return bucket_elimination_plan(query, rng=rng).plan

@@ -1,0 +1,224 @@
+"""Semijoin reduction and the Yannakakis algorithm for acyclic queries.
+
+Section 7 of the paper lists semijoins (the Wong–Youssefi strategy) as a
+direction worth exploring, while Section 2 notes they are *useless* for
+its 3-COLOR queries: projecting any column of the ``edge`` relation
+yields every color, so no semijoin ever removes a tuple.  This module
+makes both halves of that story executable:
+
+- :func:`gyo_reduction` — the Graham/Yu–Özsoyoğlu ear-removal test for
+  hypergraph acyclicity, returning a join tree of atoms when acyclic;
+- :func:`semijoin_reduce` — the full-reducer pass (leaves-to-root, then
+  root-to-leaves) over that join tree;
+- :func:`yannakakis_evaluate` — the classic two-phase algorithm: fully
+  reduce, then join bottom-up with projection to needed variables, which
+  for acyclic queries bounds intermediate sizes by input + output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.query import ConjunctiveQuery
+from repro.errors import QueryStructureError
+from repro.relalg.database import Database
+from repro.relalg.engine import Engine
+from repro.relalg.relation import Relation
+from repro.relalg.stats import ExecutionStats
+
+
+@dataclass(frozen=True)
+class AtomJoinTree:
+    """A join tree over the query's atoms: ``parent[i]`` is atom ``i``'s
+    parent index (root's parent is ``None``).
+
+    The defining property (from GYO): for every atom, the variables it
+    shares with the rest of its component are covered by its parent.
+    """
+
+    parent: tuple[int | None, ...]
+    order: tuple[int, ...]  # atoms in leaves-first (elimination) order
+
+    @property
+    def root_count(self) -> int:
+        """Number of roots — one per connected component."""
+        return sum(1 for p in self.parent if p is None)
+
+
+def gyo_reduction(query: ConjunctiveQuery) -> AtomJoinTree | None:
+    """GYO ear removal.  Returns a join tree if the query's hypergraph is
+    acyclic (α-acyclic), else None.
+
+    An atom is an *ear* when the variables it shares with the remaining
+    atoms are all contained in some single remaining atom (its witness),
+    or when it shares nothing at all.  Repeatedly removing ears empties
+    the hypergraph exactly for acyclic queries.
+    """
+    remaining = set(range(len(query.atoms)))
+    schemes = {index: set(atom.variable_set) for index, atom in enumerate(query.atoms)}
+    parent: list[int | None] = [None] * len(query.atoms)
+    order: list[int] = []
+    changed = True
+    while changed and len(remaining) > 1:
+        changed = False
+        for ear in sorted(remaining):
+            others = remaining - {ear}
+            outside_vars = set().union(*(schemes[o] for o in others))
+            shared = schemes[ear] & outside_vars
+            if not shared:
+                parent[ear] = None  # isolated component root-to-be
+                remaining.discard(ear)
+                order.append(ear)
+                changed = True
+                break
+            witness = next(
+                (o for o in sorted(others) if shared <= schemes[o]), None
+            )
+            if witness is not None:
+                parent[ear] = witness
+                remaining.discard(ear)
+                order.append(ear)
+                changed = True
+                break
+    if len(remaining) > 1:
+        return None
+    order.extend(sorted(remaining))
+    return AtomJoinTree(parent=tuple(parent), order=tuple(order))
+
+
+def is_acyclic(query: ConjunctiveQuery) -> bool:
+    """Whether the query's hypergraph is α-acyclic."""
+    return gyo_reduction(query) is not None
+
+
+def _scan_atoms(
+    query: ConjunctiveQuery, database: Database, stats: ExecutionStats
+) -> list[Relation]:
+    engine = Engine(database)
+    return [engine.execute(atom.to_scan(), stats=stats) for atom in query.atoms]
+
+
+def semijoin_reduce(
+    query: ConjunctiveQuery,
+    database: Database,
+    tree: AtomJoinTree | None = None,
+    stats: ExecutionStats | None = None,
+) -> tuple[list[Relation], bool]:
+    """Full-reducer semijoin program over an acyclic query.
+
+    Returns the per-atom reduced relations and whether *any* tuple was
+    removed — which, per the paper's Section 2 observation, is False for
+    every 3-COLOR query over the all-distinct-pairs ``edge`` relation.
+
+    Raises :class:`~repro.errors.QueryStructureError` for cyclic queries.
+    """
+    stats = stats if stats is not None else ExecutionStats()
+    if tree is None:
+        tree = gyo_reduction(query)
+    if tree is None:
+        raise QueryStructureError(
+            "semijoin reduction requires an acyclic query (GYO failed)"
+        )
+    relations = _scan_atoms(query, database, stats)
+    before = [rel.cardinality for rel in relations]
+    # Upward pass (leaves first): parent := parent ⋉ child.
+    for atom in tree.order:
+        p = tree.parent[atom]
+        if p is not None:
+            relations[p] = relations[p].semijoin(relations[atom])
+            stats.record_output(relations[p].cardinality, relations[p].arity)
+    # Downward pass (root first): child := child ⋉ parent.
+    for atom in reversed(tree.order):
+        p = tree.parent[atom]
+        if p is not None:
+            relations[atom] = relations[atom].semijoin(relations[p])
+            stats.record_output(relations[atom].cardinality, relations[atom].arity)
+    removed = any(
+        rel.cardinality < b for rel, b in zip(relations, before)
+    )
+    return relations, removed
+
+
+def yannakakis_evaluate(
+    query: ConjunctiveQuery,
+    database: Database,
+    stats: ExecutionStats | None = None,
+) -> Relation:
+    """Evaluate an acyclic query with the Yannakakis algorithm.
+
+    Phase 1 fully reduces the atom relations by semijoins; phase 2 joins
+    them bottom-up along the join tree, projecting each intermediate to
+    the variables still needed above it plus the target schema.  On an
+    acyclic query the reduction guarantees no intermediate blow-up.
+    """
+    stats = stats if stats is not None else ExecutionStats()
+    tree = gyo_reduction(query)
+    if tree is None:
+        raise QueryStructureError(
+            "the Yannakakis algorithm requires an acyclic query"
+        )
+    relations, _ = semijoin_reduce(query, database, tree=tree, stats=stats)
+    target = set(query.free_variables)
+    # needed_above[i]: variables of atom i's subtree that occur outside it.
+    children: dict[int, list[int]] = {i: [] for i in range(len(query.atoms))}
+    for atom, p in enumerate(tree.parent):
+        if p is not None:
+            children[p].append(atom)
+
+    def join_up(atom: int) -> Relation:
+        current = relations[atom]
+        for child in children[atom]:
+            child_rel = join_up(child)
+            current = current.natural_join(child_rel)
+            stats.record_join(
+                current.cardinality, child_rel.cardinality, current.cardinality
+            )
+            stats.record_output(current.cardinality, current.arity)
+        # Keep only what the ancestors or the answer still need.
+        if tree.parent[atom] is None:
+            keep = [c for c in current.columns if c in target]
+        else:
+            outside = _outside_vars(
+                query, subtree_atoms=_subtree_atoms(children, atom)
+            )
+            keep = [
+                column
+                for column in current.columns
+                if column in outside or column in target
+            ]
+        if tuple(keep) != current.columns:
+            current = current.project(keep)
+            stats.projections += 1
+            stats.record_output(current.cardinality, current.arity)
+        return current
+
+    roots = [atom for atom, p in enumerate(tree.parent) if p is None]
+    result = join_up(roots[0])
+    for root in roots[1:]:
+        other = join_up(root)
+        result = result.natural_join(other)
+        stats.record_output(result.cardinality, result.arity)
+    ordered_target = tuple(query.free_variables)
+    if result.columns != ordered_target:
+        result = result.project(ordered_target)
+        stats.record_output(result.cardinality, result.arity)
+    return result
+
+
+def _subtree_atoms(children: dict[int, list[int]], atom: int) -> set[int]:
+    out = {atom}
+    stack = [atom]
+    while stack:
+        for child in children[stack.pop()]:
+            out.add(child)
+            stack.append(child)
+    return out
+
+
+def _outside_vars(query: ConjunctiveQuery, subtree_atoms: set[int]) -> set[str]:
+    return {
+        variable
+        for index, atom in enumerate(query.atoms)
+        if index not in subtree_atoms
+        for variable in atom.variable_set
+    }

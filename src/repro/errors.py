@@ -1,0 +1,74 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+being able to discriminate between engine, SQL, and planning failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation or plan was used with an incompatible schema.
+
+    Raised, for example, when projecting a column that does not exist, when
+    two relations being unioned disagree on their columns, or when a tuple of
+    the wrong arity is inserted into a relation.
+    """
+
+
+class CatalogError(ReproError):
+    """A database catalog lookup failed (unknown relation name, duplicate
+    registration, and similar catalog-level misuse)."""
+
+
+class PlanError(ReproError):
+    """A logical plan is malformed or cannot be evaluated.
+
+    Examples: a projection node that requests columns its child does not
+    produce, or a join between plans with no common evaluation context.
+    """
+
+
+class SqlSyntaxError(ReproError):
+    """The SQL-subset lexer or parser rejected the input text.
+
+    Carries the offending position so tests (and users) can point at the
+    problem in generated SQL.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class SqlSemanticError(ReproError):
+    """The SQL text parsed but refers to unknown tables, columns, or aliases."""
+
+
+class QueryStructureError(ReproError):
+    """A conjunctive query, join graph, or decomposition is structurally
+    invalid (e.g. a tree decomposition violating one of its three defining
+    properties, or a join-expression tree with inconsistent labels)."""
+
+
+class OrderingError(ReproError):
+    """A variable or atom ordering is not a permutation of the expected set."""
+
+
+class TimeoutExceeded(ReproError):
+    """An experiment run exceeded its time budget.
+
+    The experiment harness converts this into a "timed out" cell rather than
+    letting it propagate, mirroring the paper's timeout handling.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload generator received impossible parameters (e.g. more edges
+    than a simple graph can hold, or a clause width larger than the number of
+    variables)."""

@@ -1,0 +1,56 @@
+"""Experiment harness: runners, per-figure series builders, reporting.
+
+``python -m repro.experiments <figure>`` regenerates any figure's table
+from the command line; the :data:`~repro.experiments.figures.FIGURES`
+registry maps figure names to builders.
+"""
+
+from repro.experiments.figures import (
+    EXECUTION_METHODS,
+    FIGURES,
+    fig2_compile,
+    fig3_density,
+    fig4_order_low_density,
+    fig5_order_high_density,
+    fig6_augmented_path,
+    fig7_ladder,
+    fig8_augmented_ladder,
+    fig9_augmented_circular_ladder,
+    mediator_chain_scaling,
+    relation_size_scaling,
+    sat_scaling,
+)
+from repro.experiments.report import dominance_summary, format_report, format_table
+from repro.experiments.runner import (
+    BudgetTracker,
+    CellResult,
+    MethodRun,
+    Series,
+    aggregate_runs,
+    run_method,
+)
+
+__all__ = [
+    "run_method",
+    "MethodRun",
+    "CellResult",
+    "Series",
+    "aggregate_runs",
+    "BudgetTracker",
+    "EXECUTION_METHODS",
+    "FIGURES",
+    "fig2_compile",
+    "fig3_density",
+    "fig4_order_low_density",
+    "fig5_order_high_density",
+    "fig6_augmented_path",
+    "fig7_ladder",
+    "fig8_augmented_ladder",
+    "fig9_augmented_circular_ladder",
+    "sat_scaling",
+    "relation_size_scaling",
+    "mediator_chain_scaling",
+    "format_table",
+    "format_report",
+    "dominance_summary",
+]

@@ -1,0 +1,107 @@
+"""Command-line entry point for regenerating the paper's figures.
+
+Examples::
+
+    python -m repro.experiments fig3
+    python -m repro.experiments fig3 --free-fraction 0.2 --seeds 5
+    python -m repro.experiments fig4 --orders 8 10 12 14 16
+    python -m repro.experiments all --seeds 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.figures import FIGURES
+from repro.experiments.report import dominance_summary, format_report
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    """The experiments CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the tables behind the paper's figures.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(FIGURES) + ["all"],
+        help="which figure to regenerate (or 'all')",
+    )
+    parser.add_argument("--seeds", type=int, default=None, help="instances per point")
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="per-method soft timeout before it is retired from the series",
+    )
+    parser.add_argument(
+        "--free-fraction",
+        type=float,
+        default=None,
+        help="fraction of free variables (0 = Boolean, paper uses 0.2)",
+    )
+    parser.add_argument(
+        "--orders",
+        type=int,
+        nargs="+",
+        default=None,
+        help="explicit order values for order-scaling figures",
+    )
+    parser.add_argument(
+        "--densities",
+        type=float,
+        nargs="+",
+        default=None,
+        help="explicit density values for density-scaling figures",
+    )
+    parser.add_argument(
+        "--via-sql",
+        action="store_true",
+        help="run through the full SQL generate/parse/execute pipeline",
+    )
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="append the winner-per-point dominance summary",
+    )
+    return parser
+
+
+def _kwargs_for(name: str, args: argparse.Namespace) -> dict:
+    kwargs: dict = {}
+    if args.seeds is not None:
+        kwargs["seeds"] = args.seeds
+    if args.budget_seconds is not None and name != "fig2":
+        kwargs["budget_seconds"] = args.budget_seconds
+    if args.free_fraction is not None and name in (
+        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "sat",
+    ):
+        kwargs["free_fraction"] = args.free_fraction
+    if args.orders is not None and name in (
+        "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    ):
+        kwargs["orders"] = args.orders
+    if args.densities is not None and name in ("fig2", "fig3"):
+        kwargs["densities"] = args.densities
+    if args.via_sql and name != "fig2":
+        kwargs["via_sql"] = True
+    return kwargs
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_argument_parser().parse_args(argv)
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        series = FIGURES[name](**_kwargs_for(name, args))
+        print(format_report(series))
+        if args.summary:
+            print()
+            print(dominance_summary(series))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

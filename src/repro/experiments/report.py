@@ -1,0 +1,91 @@
+"""ASCII reporting for experiment series.
+
+Formats a :class:`~repro.experiments.runner.Series` as the row/column
+table the paper's figures plot: x-values down the side, one column per
+method, cells showing median seconds (with timeouts marked) or the
+machine-independent tuple counters.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.runner import Series
+
+
+def _format_cell(value: float, timed_out: bool, as_int: bool) -> str:
+    if timed_out:
+        return "timeout"
+    if math.isinf(value):
+        return "-"
+    if as_int:
+        return str(int(value))
+    if value >= 100:
+        return f"{value:.1f}"
+    return f"{value:.4f}"
+
+
+def format_table(series: Series, metric: str = "seconds") -> str:
+    """Render a series as an aligned ASCII table.
+
+    ``metric`` is ``"seconds"`` (median wall-clock), ``"tuples"``
+    (total intermediate tuples — or planner work for Figure 2), or
+    ``"width"`` (median plan width).
+    """
+    if metric not in ("seconds", "tuples", "width"):
+        raise ValueError(f"unknown metric {metric!r}")
+    header = [series.x_label] + list(series.methods)
+    rows: list[list[str]] = []
+    for x in series.x_values:
+        row = [f"{x:g}"]
+        for method in series.methods:
+            cell = series.get(method, x)
+            if cell is None:
+                row.append("-")
+                continue
+            if metric == "seconds":
+                row.append(_format_cell(cell.median_seconds, cell.timed_out, False))
+            elif metric == "tuples":
+                row.append(_format_cell(cell.median_tuples, cell.timed_out, True))
+            else:
+                if cell.median_width is None:
+                    row.append("-")
+                else:
+                    row.append(_format_cell(cell.median_width, cell.timed_out, True))
+        rows.append(row)
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = [f"== {series.name} ({metric}) ==", fmt(header), rule]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_report(series: Series, metrics: tuple[str, ...] = ("seconds", "tuples")) -> str:
+    """Multiple metric tables for one series, blank-line separated."""
+    return "\n\n".join(format_table(series, metric) for metric in metrics)
+
+
+def dominance_summary(series: Series, metric: str = "tuples") -> str:
+    """One-line winner summary per x-value ("who wins"), used by
+    EXPERIMENTS.md to state the shape claims compactly."""
+    lines = [f"== {series.name}: winner per {series.x_label} ({metric}) =="]
+    for x in series.x_values:
+        best_method = None
+        best_value = math.inf
+        for method in series.methods:
+            cell = series.get(method, x)
+            if cell is None or cell.timed_out:
+                continue
+            value = cell.median_tuples if metric == "tuples" else cell.median_seconds
+            if value < best_value:
+                best_value = value
+                best_method = method
+        lines.append(f"{x:g}: {best_method or 'all timed out'}")
+    return "\n".join(lines)

@@ -1,0 +1,238 @@
+"""Logical project-join plans.
+
+A plan is a tree of operators — :class:`Scan`, :class:`Join`,
+:class:`Project` — whose evaluation order is exactly the tree structure.
+This is the common currency of the repo: every optimization method in
+:mod:`repro.core` compiles a conjunctive query into one of these trees, the
+engine in :mod:`repro.relalg.engine` evaluates them, and the SQL generator
+in :mod:`repro.sql` renders them as the paper's nested-subquery SQL.
+
+Columns are *variable names*: a scan renames the base relation's columns to
+the variables of the atom it implements, so every subsequent join is a
+natural join and equality predicates never need to be represented
+explicitly.  Repeated variables within one atom (e.g. ``R(x, x)``) and
+constant arguments (e.g. ``R(x, 3)``) are handled by the scan itself.
+
+The *width* of a plan — the maximum arity of any operator output — is the
+quantity Theorems 1 and 2 of the paper bound by treewidth; it is computed
+here statically, without evaluating anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Union
+
+from repro.errors import PlanError
+
+
+def _dedup_keep_order(names: tuple[str, ...]) -> tuple[str, ...]:
+    seen: set[str] = set()
+    out: list[str] = []
+    for name in names:
+        if name not in seen:
+            seen.add(name)
+            out.append(name)
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class Scan:
+    """Scan a base relation, binding its positions to query variables.
+
+    Parameters
+    ----------
+    relation:
+        Name of the base relation in the catalog.
+    variables:
+        One entry per *variable* position of the atom, in positional order.
+        Repeats are allowed and mean an equality selection.
+    constants:
+        ``(position, value)`` pairs for positions bound to constants.
+        Positions index the base relation's columns; variable entries fill
+        the remaining positions in order.
+
+    The output schema is the distinct variables in order of first
+    occurrence.
+    """
+
+    relation: str
+    variables: tuple[str, ...]
+    constants: tuple[tuple[int, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.variables and not self.constants:
+            raise PlanError(f"scan of {self.relation!r} binds no positions")
+        positions = [p for p, _ in self.constants]
+        if len(set(positions)) != len(positions):
+            raise PlanError(f"duplicate constant positions in scan of {self.relation!r}")
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Output schema: distinct variables, first-occurrence order."""
+        return _dedup_keep_order(self.variables)
+
+    @property
+    def arity(self) -> int:
+        """Number of output columns."""
+        return len(self.columns)
+
+
+@dataclass(frozen=True)
+class Join:
+    """Natural join of two sub-plans on their shared variables."""
+
+    left: "Plan"
+    right: "Plan"
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Output schema: left columns, then the right side's new ones."""
+        left_cols = self.left.columns
+        return left_cols + tuple(
+            name for name in self.right.columns if name not in set(left_cols)
+        )
+
+    @property
+    def arity(self) -> int:
+        """Number of output columns."""
+        return len(self.columns)
+
+
+@dataclass(frozen=True)
+class Project:
+    """Project a sub-plan onto ``columns`` (duplicate-eliminating).
+
+    This is the paper's early-projection operator: dropping variables whose
+    last occurrence has been joined.
+    """
+
+    child: "Plan"
+    columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        missing = set(self.columns) - set(self.child.columns)
+        if missing:
+            raise PlanError(
+                f"projection requests columns {sorted(missing)} not produced by child "
+                f"(child columns: {self.child.columns})"
+            )
+        if len(set(self.columns)) != len(self.columns):
+            raise PlanError(f"duplicate columns in projection {self.columns!r}")
+
+    @property
+    def arity(self) -> int:
+        """Number of output columns."""
+        return len(self.columns)
+
+
+Plan = Union[Scan, Join, Project]
+
+
+def iter_nodes(plan: Plan) -> Iterator[Plan]:
+    """Yield every node of the plan tree (post-order)."""
+    if isinstance(plan, Join):
+        yield from iter_nodes(plan.left)
+        yield from iter_nodes(plan.right)
+    elif isinstance(plan, Project):
+        yield from iter_nodes(plan.child)
+    yield plan
+
+
+def plan_width(plan: Plan) -> int:
+    """Maximum arity of any operator output in the plan.
+
+    This is the static analogue of ``max_intermediate_arity``: evaluating
+    the plan can never produce a relation wider than this.
+    """
+    return max(node.arity for node in iter_nodes(plan))
+
+
+def plan_variables(plan: Plan) -> set[str]:
+    """All variables mentioned anywhere in the plan."""
+    out: set[str] = set()
+    for node in iter_nodes(plan):
+        if isinstance(node, Scan):
+            out.update(node.variables)
+    return out
+
+
+def count_joins(plan: Plan) -> int:
+    """Number of join operators in the plan."""
+    return sum(1 for node in iter_nodes(plan) if isinstance(node, Join))
+
+
+def count_scans(plan: Plan) -> int:
+    """Number of scan leaves in the plan."""
+    return sum(1 for node in iter_nodes(plan) if isinstance(node, Scan))
+
+
+def left_deep_join(leaves: list[Plan]) -> Plan:
+    """Fold plans into a left-deep join chain ``(((p1 ⋈ p2) ⋈ p3) ...)``.
+
+    This is the shape the paper's *straightforward* method forces via
+    parenthesized ``JOIN ... ON`` clauses.
+    """
+    if not leaves:
+        raise PlanError("cannot join an empty list of plans")
+    plan = leaves[0]
+    for leaf in leaves[1:]:
+        plan = Join(plan, leaf)
+    return plan
+
+
+def validate_plan(plan: Plan) -> None:
+    """Raise :class:`~repro.errors.PlanError` if the plan is malformed.
+
+    Construction already enforces local invariants (projection columns
+    exist, no duplicate constants); this walks the whole tree so callers
+    holding a plan built elsewhere can assert global well-formedness.
+    """
+    for node in iter_nodes(plan):
+        if isinstance(node, Project):
+            # __post_init__ validated against the child at construction
+            # time, but the child may have been swapped via dataclasses
+            # replace(); re-check.
+            missing = set(node.columns) - set(node.child.columns)
+            if missing:
+                raise PlanError(
+                    f"projection onto missing columns {sorted(missing)}"
+                )
+        elif isinstance(node, Scan):
+            if not node.relation:
+                raise PlanError("scan with empty relation name")
+
+
+@dataclass
+class _PrettyState:
+    lines: list[str] = field(default_factory=list)
+
+
+def pretty_plan(plan: Plan) -> str:
+    """Indented multi-line rendering of a plan tree.
+
+    Example output::
+
+        Project[v1]
+          Join
+            Scan edge(v1, v2)
+            Scan edge(v2, v3)
+    """
+    state = _PrettyState()
+
+    def walk(node: Plan, depth: int) -> None:
+        pad = "  " * depth
+        if isinstance(node, Scan):
+            binding = ", ".join(node.variables)
+            consts = "".join(f" [{p}={v!r}]" for p, v in node.constants)
+            state.lines.append(f"{pad}Scan {node.relation}({binding}){consts}")
+        elif isinstance(node, Project):
+            state.lines.append(f"{pad}Project[{', '.join(node.columns)}]")
+            walk(node.child, depth + 1)
+        else:
+            state.lines.append(f"{pad}Join")
+            walk(node.left, depth + 1)
+            walk(node.right, depth + 1)
+
+    walk(plan, 0)
+    return "\n".join(state.lines)

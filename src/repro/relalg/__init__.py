@@ -1,0 +1,48 @@
+"""In-memory relational-algebra engine (the reproduction's database substrate).
+
+Public surface:
+
+- :class:`~repro.relalg.relation.Relation` — named-column relations, set
+  semantics, the full project/rename/select/join/semijoin algebra.
+- :class:`~repro.relalg.database.Database` — the catalog, plus
+  :func:`~repro.relalg.database.edge_database` (the paper's 6-tuple k-COLOR
+  relation).
+- :class:`~repro.relalg.engine.Engine` — evaluates :mod:`repro.plans` trees,
+  with pluggable join algorithms and work counters.
+"""
+
+from repro.relalg.bag_engine import BagEngine, bag_evaluate
+from repro.relalg.database import Database, database_from_tuples, edge_database
+from repro.relalg.engine import Engine, evaluate, is_nonempty
+from repro.relalg.io import load_database, load_relation, save_database, save_relation
+from repro.relalg.joins import (
+    JOIN_ALGORITHMS,
+    get_join_algorithm,
+    hash_join,
+    nested_loop_join,
+    sort_merge_join,
+)
+from repro.relalg.relation import Relation
+from repro.relalg.stats import ExecutionStats
+
+__all__ = [
+    "Relation",
+    "Database",
+    "database_from_tuples",
+    "edge_database",
+    "Engine",
+    "evaluate",
+    "is_nonempty",
+    "BagEngine",
+    "bag_evaluate",
+    "load_relation",
+    "save_relation",
+    "load_database",
+    "save_database",
+    "ExecutionStats",
+    "hash_join",
+    "sort_merge_join",
+    "nested_loop_join",
+    "get_join_algorithm",
+    "JOIN_ALGORITHMS",
+]

@@ -1,0 +1,128 @@
+"""Bag-semantics plan evaluation — the deferred-DISTINCT ablation.
+
+The paper's generated SQL puts ``SELECT DISTINCT`` in *every* subquery.
+That choice matters: with set semantics, joins of duplicate-free inputs
+are duplicate-free (every output row embeds all of its input columns), so
+duplicates are born only at projections — and an undeduplicated
+projection's duplicates multiply through every subsequent join.
+
+This evaluator executes the same plans over multisets (Python lists),
+deduplicating intermediate projections only when asked, so the ablation
+benchmark can quantify exactly what eager DISTINCT buys.  The final
+result is always deduplicated (the outermost SELECT DISTINCT), making the
+answer identical to the set-semantics engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import PlanError
+from repro.plans import Join, Plan, Project, Scan
+from repro.relalg.database import Database
+from repro.relalg.engine import Engine
+from repro.relalg.relation import Relation, Row
+from repro.relalg.stats import ExecutionStats
+
+
+class BagEngine:
+    """Evaluates plans with multiset intermediates.
+
+    Parameters
+    ----------
+    database:
+        Catalog of base relations (these are sets; duplicates can only
+        arise downstream).
+    dedup_projections:
+        When True this behaves like the set engine (projection applies
+        DISTINCT); when False intermediate projections keep duplicates —
+        the paper's SQL *without* the inner DISTINCTs.
+    """
+
+    def __init__(self, database: Database, dedup_projections: bool = True) -> None:
+        self._database = database
+        self._dedup = dedup_projections
+        # Scans are delegated to the set engine (base relations are sets).
+        self._scan_engine = Engine(database)
+
+    def execute(
+        self, plan: Plan, stats: ExecutionStats | None = None
+    ) -> Relation:
+        """Evaluate ``plan``; the final result is always deduplicated."""
+        stats = stats if stats is not None else ExecutionStats()
+        columns, rows = self._eval(plan, stats)
+        return Relation(columns, rows)
+
+    def execute_with_stats(self, plan: Plan) -> tuple[Relation, ExecutionStats]:
+        """Evaluate ``plan``; return the result and fresh statistics."""
+        stats = ExecutionStats()
+        result = self.execute(plan, stats=stats)
+        return result, stats
+
+    # ------------------------------------------------------------------
+    def _eval(
+        self, plan: Plan, stats: ExecutionStats
+    ) -> tuple[tuple[str, ...], list[Row]]:
+        if isinstance(plan, Scan):
+            relation = self._scan_engine.execute(Scan(plan.relation, plan.variables, plan.constants))
+            stats.scans += 1
+            columns, rows = relation.columns, list(relation.rows)
+        elif isinstance(plan, Project):
+            child_columns, child_rows = self._eval(plan.child, stats)
+            positions = [child_columns.index(name) for name in plan.columns]
+            projected = [tuple(row[i] for i in positions) for row in child_rows]
+            if self._dedup:
+                projected = list(dict.fromkeys(projected))
+            stats.projections += 1
+            columns, rows = plan.columns, projected
+        elif isinstance(plan, Join):
+            left_columns, left_rows = self._eval(plan.left, stats)
+            right_columns, right_rows = self._eval(plan.right, stats)
+            columns, rows = _bag_join(
+                left_columns, left_rows, right_columns, right_rows
+            )
+            stats.record_join(len(left_rows), len(right_rows), len(rows))
+        else:  # pragma: no cover - exhaustive over the Plan union
+            raise PlanError(f"unknown plan node {plan!r}")
+        stats.record_output(len(rows), len(columns))
+        return columns, rows
+
+
+def _bag_join(
+    left_columns: tuple[str, ...],
+    left_rows: list[Row],
+    right_columns: tuple[str, ...],
+    right_rows: list[Row],
+) -> tuple[tuple[str, ...], list[Row]]:
+    """Multiset natural join: every matching pair contributes one output
+    row, duplicates included."""
+    shared = tuple(name for name in left_columns if name in right_columns)
+    out_columns = left_columns + tuple(
+        name for name in right_columns if name not in shared
+    )
+    right_key = [right_columns.index(name) for name in shared]
+    right_extra = [
+        right_columns.index(name)
+        for name in right_columns
+        if name not in shared
+    ]
+    index: dict[Row, list[Row]] = {}
+    for row in right_rows:
+        index.setdefault(tuple(row[i] for i in right_key), []).append(row)
+    left_key = [left_columns.index(name) for name in shared]
+    out: list[Row] = []
+    for lrow in left_rows:
+        key = tuple(lrow[i] for i in left_key)
+        for rrow in index.get(key, ()):
+            out.append(lrow + tuple(rrow[i] for i in right_extra))
+    return out_columns, out
+
+
+def bag_evaluate(
+    plan: Plan,
+    database: Database,
+    dedup_projections: bool = True,
+) -> tuple[Relation, ExecutionStats]:
+    """One-shot helper mirroring :func:`repro.relalg.engine.evaluate`."""
+    engine = BagEngine(database, dedup_projections=dedup_projections)
+    return engine.execute_with_stats(plan)

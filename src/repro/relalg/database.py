@@ -1,0 +1,101 @@
+"""Database catalog: a named collection of relations.
+
+The paper's databases are deliberately tiny — typically a single binary
+``edge`` relation with six tuples — so the catalog is a thin dictionary
+wrapper whose main job is good error messages and a couple of convenience
+constructors used throughout the workloads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+from repro.errors import CatalogError
+from repro.relalg.relation import Relation
+
+
+class Database:
+    """A named collection of :class:`~repro.relalg.relation.Relation`.
+
+    Examples
+    --------
+    >>> db = Database()
+    >>> db.add("edge", Relation(("u", "w"), [(1, 2), (2, 1)]))
+    >>> db["edge"].cardinality
+    2
+    """
+
+    def __init__(self, relations: Mapping[str, Relation] | None = None) -> None:
+        self._relations: dict[str, Relation] = {}
+        if relations:
+            for name, relation in relations.items():
+                self.add(name, relation)
+
+    def add(self, name: str, relation: Relation) -> None:
+        """Register a relation under ``name``; re-registration is an error
+        (use :meth:`replace` to overwrite deliberately)."""
+        if not name:
+            raise CatalogError("relation name must be non-empty")
+        if name in self._relations:
+            raise CatalogError(f"relation {name!r} is already registered")
+        self._relations[name] = relation
+
+    def replace(self, name: str, relation: Relation) -> None:
+        """Overwrite (or create) the relation registered under ``name``."""
+        if not name:
+            raise CatalogError("relation name must be non-empty")
+        self._relations[name] = relation
+
+    def get(self, name: str) -> Relation:
+        """Look up a relation; unknown names raise
+        :class:`~repro.errors.CatalogError` listing what exists."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown relation {name!r}; catalog has {sorted(self._relations)}"
+            ) from None
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def names(self) -> list[str]:
+        """Sorted relation names."""
+        return sorted(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def total_tuples(self) -> int:
+        """Total number of stored tuples across all relations."""
+        return sum(rel.cardinality for rel in self._relations.values())
+
+
+def edge_database(
+    colors: Sequence[Any] = (1, 2, 3), relation_name: str = "edge"
+) -> Database:
+    """The paper's k-COLOR database: one binary relation holding all pairs
+    of *distinct* colors.
+
+    For the default three colors this is the six-tuple ``edge`` relation of
+    Section 2: a graph is 3-colorable iff the corresponding project-join
+    query over this database is nonempty.
+    """
+    rows = [(a, b) for a in colors for b in colors if a != b]
+    db = Database()
+    db.add(relation_name, Relation(("u", "w"), rows))
+    return db
+
+
+def database_from_tuples(
+    spec: Mapping[str, tuple[Sequence[str], Iterable[Sequence[Any]]]],
+) -> Database:
+    """Build a database from ``{name: (columns, rows)}`` — handy in tests."""
+    db = Database()
+    for name, (columns, rows) in spec.items():
+        db.add(name, Relation(columns, rows))
+    return db

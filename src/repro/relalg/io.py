@@ -1,0 +1,101 @@
+"""Loading and saving relations as delimited text files.
+
+A database a downstream user can actually point at: each relation is one
+CSV/TSV file whose header row names the columns.  Values are read back
+as integers when they look like integers (the paper's domains are small
+integer codes), and as strings otherwise; ``save_relation`` writes the
+same format back, so load/save round-trips.
+
+A *catalog directory* is simply a directory of ``<name>.csv`` files —
+:func:`load_database` turns one into a :class:`Database`,
+:func:`save_database` writes one out.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any
+
+from repro.errors import CatalogError, SchemaError
+from repro.relalg.database import Database
+from repro.relalg.relation import Relation
+
+
+def _parse_value(text: str) -> Any:
+    stripped = text.strip()
+    if stripped and (
+        stripped.isdigit()
+        or (stripped[0] == "-" and stripped[1:].isdigit())
+    ):
+        return int(stripped)
+    return stripped
+
+
+def load_relation(path: str | Path, delimiter: str = ",") -> Relation:
+    """Read a relation from a delimited file (header row required).
+
+    Duplicate data rows collapse (set semantics), matching the engine.
+    """
+    path = Path(path)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty; expected a header row") from None
+        columns = tuple(name.strip() for name in header)
+        rows = []
+        for line_number, row in enumerate(reader, start=2):
+            if not row or all(not cell.strip() for cell in row):
+                continue  # permit blank lines
+            if len(row) != len(columns):
+                raise SchemaError(
+                    f"{path}:{line_number}: expected {len(columns)} fields, "
+                    f"got {len(row)}"
+                )
+            rows.append(tuple(_parse_value(cell) for cell in row))
+    return Relation(columns, rows)
+
+
+def save_relation(
+    relation: Relation, path: str | Path, delimiter: str = ","
+) -> None:
+    """Write a relation to a delimited file (header row + sorted rows,
+    so output is deterministic and diffs cleanly)."""
+    path = Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(relation.columns)
+        for row in sorted(relation.rows, key=repr):
+            writer.writerow(row)
+
+
+def load_database(directory: str | Path, delimiter: str = ",") -> Database:
+    """Load every ``*.csv`` (or ``*.tsv`` with a tab delimiter) in a
+    directory as a relation named after the file's stem."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise CatalogError(f"{directory} is not a directory")
+    suffix = ".tsv" if delimiter == "\t" else ".csv"
+    database = Database()
+    paths = sorted(directory.glob(f"*{suffix}"))
+    if not paths:
+        raise CatalogError(f"no {suffix} files found in {directory}")
+    for path in paths:
+        database.add(path.stem, load_relation(path, delimiter=delimiter))
+    return database
+
+
+def save_database(
+    database: Database, directory: str | Path, delimiter: str = ","
+) -> None:
+    """Write every relation of ``database`` as ``<name>.csv`` (or .tsv)
+    under ``directory`` (created if missing)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    suffix = ".tsv" if delimiter == "\t" else ".csv"
+    for name in database.names():
+        save_relation(
+            database.get(name), directory / f"{name}{suffix}", delimiter=delimiter
+        )

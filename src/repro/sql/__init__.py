@@ -1,0 +1,86 @@
+"""SQL substrate: generation, parsing, execution, and planner simulation.
+
+The pipeline mirrors the paper's experimental loop:
+
+1. :mod:`repro.sql.generator` emits SQL text for a conjunctive query under
+   any of the five methods (naive, straightforward, early projection,
+   reordering, bucket elimination);
+2. :mod:`repro.sql.lexer` / :mod:`repro.sql.parser` parse it back;
+3. :mod:`repro.sql.executor` runs it over a
+   :class:`~repro.relalg.database.Database`, following the SQL's explicit
+   join/subquery structure exactly (the PostgreSQL-backend stand-in);
+4. :mod:`repro.sql.planner_sim` models the cost-based planner whose
+   compile-time explosion Figure 2 documents.
+"""
+
+from repro.sql.ast import (
+    ColumnRef,
+    Condition,
+    Equality,
+    JoinExpr,
+    Literal,
+    SelectQuery,
+    SubqueryRef,
+    TableRef,
+    iter_subqueries,
+    render,
+    subquery_depth,
+)
+from repro.sql.executor import execute, execute_with_stats
+from repro.sql.generator import (
+    SQL_METHODS,
+    bucket_elimination_sql,
+    early_projection_sql,
+    generate_sql,
+    naive_sql,
+    plan_to_sql,
+    reordering_sql,
+    straightforward_sql,
+)
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse
+from repro.sql.planner_sim import (
+    DEFAULT_GEQO_THRESHOLD,
+    CostModel,
+    PlannerResult,
+    dp_search,
+    geqo_search,
+    plan_naive,
+    simulated_annealing_search,
+    plan_straightforward,
+)
+
+__all__ = [
+    "ColumnRef",
+    "Literal",
+    "Equality",
+    "Condition",
+    "TableRef",
+    "SubqueryRef",
+    "JoinExpr",
+    "SelectQuery",
+    "render",
+    "iter_subqueries",
+    "subquery_depth",
+    "tokenize",
+    "Token",
+    "parse",
+    "execute",
+    "execute_with_stats",
+    "SQL_METHODS",
+    "generate_sql",
+    "naive_sql",
+    "straightforward_sql",
+    "early_projection_sql",
+    "reordering_sql",
+    "bucket_elimination_sql",
+    "plan_to_sql",
+    "CostModel",
+    "PlannerResult",
+    "dp_search",
+    "geqo_search",
+    "simulated_annealing_search",
+    "plan_naive",
+    "plan_straightforward",
+    "DEFAULT_GEQO_THRESHOLD",
+]

@@ -1,0 +1,108 @@
+"""Tokenizer for the SQL subset.
+
+Produces a flat list of :class:`Token`; the parser consumes them with
+one-token lookahead.  Keywords are case-insensitive, identifiers keep
+their case.  Comments (``-- ...``) are skipped so generated SQL can be
+annotated in examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = frozenset(
+    {"SELECT", "DISTINCT", "FROM", "WHERE", "JOIN", "ON", "AND", "AS", "TRUE"}
+)
+
+PUNCTUATION = frozenset({"(", ")", ",", ".", "=", ";"})
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is ``KEYWORD``, ``IDENT``, ``NUMBER``, ``STRING``, ``PUNCT``,
+    or ``EOF``; ``value`` is the keyword (uppercased), identifier text,
+    parsed literal value, or punctuation character.
+    """
+
+    kind: str
+    value: object
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`~repro.errors.SqlSyntaxError` with
+    the offending position on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token("PUNCT", ch, i))
+            i += 1
+            continue
+        if ch == "'":
+            i = _lex_string(text, i, tokens)
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            i = _lex_number(text, i, tokens)
+            continue
+        if ch.isalpha() or ch == "_":
+            i = _lex_word(text, i, tokens)
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", position=i)
+    tokens.append(Token("EOF", None, n))
+    return tokens
+
+
+def _lex_string(text: str, start: int, tokens: list[Token]) -> int:
+    """Single-quoted string with ``''`` escaping."""
+    i = start + 1
+    pieces: list[str] = []
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                pieces.append("'")
+                i += 2
+                continue
+            tokens.append(Token("STRING", "".join(pieces), start))
+            return i + 1
+        pieces.append(ch)
+        i += 1
+    raise SqlSyntaxError("unterminated string literal", position=start)
+
+
+def _lex_number(text: str, start: int, tokens: list[Token]) -> int:
+    i = start
+    if text[i] == "-":
+        i += 1
+    while i < len(text) and text[i].isdigit():
+        i += 1
+    tokens.append(Token("NUMBER", int(text[start:i]), start))
+    return i
+
+
+def _lex_word(text: str, start: int, tokens: list[Token]) -> int:
+    i = start
+    while i < len(text) and (text[i].isalnum() or text[i] == "_"):
+        i += 1
+    word = text[start:i]
+    upper = word.upper()
+    if upper in KEYWORDS:
+        tokens.append(Token("KEYWORD", upper, start))
+    else:
+        tokens.append(Token("IDENT", word, start))
+    return i

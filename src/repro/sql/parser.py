@@ -1,0 +1,216 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (see :mod:`repro.sql.ast` for the node types)::
+
+    query       := SELECT [DISTINCT] select_list FROM from_list [WHERE cond] [";"]
+    select_list := column_ref ("," column_ref)*
+    from_list   := from_item ("," from_item)*
+    from_item   := operand (JOIN operand ON "(" cond ")")*        -- left-assoc
+    operand     := table_ref
+                 | "(" query ")" AS ident                         -- subquery
+                 | "(" from_item ")"                              -- grouped join
+    table_ref   := ident ident "(" ident ("," ident)* ")"
+    cond        := TRUE | equality (AND equality)*
+    equality    := atom "=" atom
+    atom        := column_ref | NUMBER | STRING
+    column_ref  := ident "." ident
+
+The paper's nested join syntax — ``e5 JOIN ( e4 JOIN (...) ON (...) ) ON
+(...)`` — parses through the grouped-join operand; explicit parentheses
+are the only way join shape is expressed, exactly as in the listings.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlSyntaxError
+from repro.sql.ast import (
+    ColumnRef,
+    Condition,
+    Equality,
+    FromItem,
+    JoinExpr,
+    Literal,
+    Operand,
+    SelectQuery,
+    SubqueryRef,
+    TableRef,
+)
+from repro.sql.lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def expect_keyword(self, keyword: str) -> Token:
+        token = self.advance()
+        if token.kind != "KEYWORD" or token.value != keyword:
+            raise SqlSyntaxError(
+                f"expected {keyword}, got {token.value!r}", position=token.position
+            )
+        return token
+
+    def expect_punct(self, punct: str) -> Token:
+        token = self.advance()
+        if token.kind != "PUNCT" or token.value != punct:
+            raise SqlSyntaxError(
+                f"expected {punct!r}, got {token.value!r}", position=token.position
+            )
+        return token
+
+    def expect_ident(self) -> str:
+        token = self.advance()
+        if token.kind != "IDENT":
+            raise SqlSyntaxError(
+                f"expected identifier, got {token.value!r}", position=token.position
+            )
+        return str(token.value)
+
+    def at_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        return token.kind == "KEYWORD" and token.value == keyword
+
+    def at_punct(self, punct: str) -> bool:
+        token = self.peek()
+        return token.kind == "PUNCT" and token.value == punct
+
+    # ------------------------------------------------------------------
+    def parse_query(self) -> SelectQuery:
+        self.expect_keyword("SELECT")
+        distinct = False
+        if self.at_keyword("DISTINCT"):
+            self.advance()
+            distinct = True
+        select = [self.parse_column_ref()]
+        while self.at_punct(","):
+            self.advance()
+            select.append(self.parse_column_ref())
+        self.expect_keyword("FROM")
+        from_items = [self.parse_from_item()]
+        while self.at_punct(","):
+            self.advance()
+            from_items.append(self.parse_from_item())
+        where = Condition()
+        if self.at_keyword("WHERE"):
+            self.advance()
+            where = self.parse_condition()
+        return SelectQuery(
+            select=tuple(select),
+            from_items=tuple(from_items),
+            where=where,
+            distinct=distinct,
+        )
+
+    def parse_column_ref(self) -> ColumnRef:
+        table = self.expect_ident()
+        self.expect_punct(".")
+        column = self.expect_ident()
+        return ColumnRef(table, column)
+
+    # ------------------------------------------------------------------
+    def parse_from_item(self) -> FromItem:
+        item = self.parse_join_operand()
+        while self.at_keyword("JOIN"):
+            self.advance()
+            right = self.parse_join_operand()
+            self.expect_keyword("ON")
+            self.expect_punct("(")
+            condition = self.parse_condition()
+            self.expect_punct(")")
+            item = JoinExpr(left=item, right=right, condition=condition)
+        return item
+
+    def parse_join_operand(self) -> FromItem:
+        if self.at_punct("("):
+            # Subquery or grouped join — disambiguate on the next token.
+            if self.peek(1).kind == "KEYWORD" and self.peek(1).value == "SELECT":
+                self.advance()
+                query = self.parse_query()
+                if self.at_punct(";"):
+                    raise SqlSyntaxError(
+                        "subquery must not end with ';'",
+                        position=self.peek().position,
+                    )
+                self.expect_punct(")")
+                self.expect_keyword("AS")
+                alias = self.expect_ident()
+                return SubqueryRef(query=query, alias=alias)
+            self.advance()
+            inner = self.parse_from_item()
+            self.expect_punct(")")
+            # A parenthesized join may itself be joined further.
+            while self.at_keyword("JOIN"):
+                self.advance()
+                right = self.parse_join_operand()
+                self.expect_keyword("ON")
+                self.expect_punct("(")
+                condition = self.parse_condition()
+                self.expect_punct(")")
+                inner = JoinExpr(left=inner, right=right, condition=condition)
+            return inner
+        return self.parse_table_ref()
+
+    def parse_table_ref(self) -> TableRef:
+        relation = self.expect_ident()
+        alias = self.expect_ident()
+        self.expect_punct("(")
+        columns = [self.expect_ident()]
+        while self.at_punct(","):
+            self.advance()
+            columns.append(self.expect_ident())
+        self.expect_punct(")")
+        return TableRef(relation=relation, alias=alias, columns=tuple(columns))
+
+    # ------------------------------------------------------------------
+    def parse_condition(self) -> Condition:
+        if self.at_keyword("TRUE"):
+            self.advance()
+            return Condition()
+        equalities = [self.parse_equality()]
+        while self.at_keyword("AND"):
+            self.advance()
+            equalities.append(self.parse_equality())
+        return Condition(tuple(equalities))
+
+    def parse_equality(self) -> Equality:
+        left = self.parse_operand()
+        self.expect_punct("=")
+        right = self.parse_operand()
+        return Equality(left, right)
+
+    def parse_operand(self) -> Operand:
+        token = self.peek()
+        if token.kind == "NUMBER" or token.kind == "STRING":
+            self.advance()
+            return Literal(token.value)
+        return self.parse_column_ref()
+
+
+def parse(text: str) -> SelectQuery:
+    """Parse SQL text into a :class:`~repro.sql.ast.SelectQuery`.
+
+    Raises :class:`~repro.errors.SqlSyntaxError` on malformed input,
+    including trailing garbage after the statement.
+    """
+    parser = _Parser(tokenize(text))
+    query = parser.parse_query()
+    if parser.at_punct(";"):
+        parser.advance()
+    trailing = parser.peek()
+    if trailing.kind != "EOF":
+        raise SqlSyntaxError(
+            f"unexpected trailing input {trailing.value!r}",
+            position=trailing.position,
+        )
+    return query

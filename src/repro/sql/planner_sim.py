@@ -1,0 +1,356 @@
+"""Cost-based planner simulator — the stand-in for the PostgreSQL Planner.
+
+Figure 2 of the paper is about *compile* time: fed the naive form of a
+100-relation join, PostgreSQL searches an enormous join-order space
+(exhaustively below its GEQO threshold, with a genetic algorithm above
+it) and compile time scales exponentially with density, dwarfing
+execution time.  The straightforward form pins the join order, so the
+planner costs essentially one plan.
+
+This module reproduces that mechanism with a textbook cost model:
+
+- base cardinalities come from the catalog;
+- each equality predicate's selectivity is ``1 / ndv`` of the shared
+  column (independence assumption);
+- the cost of a left-deep order is the sum of its estimated intermediate
+  cardinalities.
+
+Two search strategies mirror PostgreSQL's:
+
+- :func:`dp_search` — System-R dynamic programming over subsets
+  (exponential in the number of atoms);
+- :func:`geqo_search` — a GEQO-style genetic algorithm over permutations
+  (order crossover + mutation), used above ``geqo_threshold`` relations.
+
+Both report ``plans_costed`` — a machine-independent measure of planner
+work — alongside wall-clock time.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.core.query import ConjunctiveQuery
+from repro.relalg.database import Database
+
+#: PostgreSQL's default: use the genetic optimizer at or above this many
+#: relations (the value in the 7.x era the paper used).
+DEFAULT_GEQO_THRESHOLD = 11
+
+
+@dataclass
+class PlannerResult:
+    """Outcome of one planning run.
+
+    ``plans_costed`` counts candidate joins whose cost was estimated —
+    the machine-independent proxy for compile time that EXPERIMENTS.md
+    reports next to wall-clock.
+    """
+
+    order: list[int]
+    estimated_cost: float
+    plans_costed: int
+    elapsed_seconds: float
+    strategy: str
+
+
+@dataclass
+class CostModel:
+    """Cardinality/selectivity estimation for one conjunctive query.
+
+    Attributes
+    ----------
+    base_cardinality:
+        Estimated rows of each atom's base relation.
+    variable_ndv:
+        Estimated distinct values per variable (min over the columns it
+        binds — a common textbook choice).
+    atom_variables:
+        Variable set per atom.
+    """
+
+    base_cardinality: list[float]
+    variable_ndv: dict[str, float]
+    atom_variables: list[frozenset[str]]
+    _cost_counter: int = field(default=0, repr=False)
+
+    @staticmethod
+    def from_query(query: ConjunctiveQuery, database: Database) -> "CostModel":
+        """Gather statistics the way a planner's ANALYZE pass would."""
+        base_cardinality: list[float] = []
+        variable_ndv: dict[str, float] = {}
+        atom_variables: list[frozenset[str]] = []
+        for atom in query.atoms:
+            relation = database.get(atom.relation)
+            base_cardinality.append(float(max(relation.cardinality, 1)))
+            atom_variables.append(atom.variable_set)
+            for position, term in enumerate(atom.terms):
+                if not isinstance(term, str):
+                    continue
+                column_index = relation.column_index(relation.columns[position])
+                ndv = float(max(len({row[column_index] for row in relation.rows}), 1))
+                current = variable_ndv.get(term)
+                variable_ndv[term] = ndv if current is None else min(current, ndv)
+        return CostModel(
+            base_cardinality=base_cardinality,
+            variable_ndv=variable_ndv,
+            atom_variables=atom_variables,
+        )
+
+    # ------------------------------------------------------------------
+    def join_cardinality(
+        self, prefix_card: float, prefix_vars: frozenset[str], atom: int
+    ) -> tuple[float, frozenset[str]]:
+        """Estimated cardinality of joining ``atom`` onto a prefix, under
+        the independence assumption: multiply cardinalities, then divide by
+        ``ndv`` once per shared variable."""
+        self._cost_counter += 1
+        card = prefix_card * self.base_cardinality[atom]
+        shared = prefix_vars & self.atom_variables[atom]
+        for variable in shared:
+            card /= self.variable_ndv[variable]
+        return max(card, 1.0), prefix_vars | self.atom_variables[atom]
+
+    def order_cost(self, order: list[int]) -> float:
+        """Total estimated intermediate tuples of a left-deep order."""
+        card = self.base_cardinality[order[0]]
+        variables = self.atom_variables[order[0]]
+        total = 0.0
+        for atom in order[1:]:
+            card, variables = self.join_cardinality(card, variables, atom)
+            total += card
+        return total
+
+    @property
+    def plans_costed(self) -> int:
+        """How many candidate joins have been cost-estimated so far."""
+        return self._cost_counter
+
+
+# ----------------------------------------------------------------------
+# Search strategies
+# ----------------------------------------------------------------------
+def dp_search(model: CostModel) -> tuple[list[int], float]:
+    """System-R dynamic programming over left-deep join orders.
+
+    ``best[S]`` is the cheapest way to join the atom subset ``S``;
+    exponential in the number of atoms, like an exhaustive planner.
+    """
+    m = len(model.base_cardinality)
+    # state: subset (bitmask) -> (total_cost, result_card, result_vars, last_atom)
+    best: dict[int, tuple[float, float, frozenset[str], int | None]] = {}
+    for atom in range(m):
+        best[1 << atom] = (
+            0.0,
+            model.base_cardinality[atom],
+            model.atom_variables[atom],
+            None,
+        )
+    full = (1 << m) - 1
+    # Enumerate subsets by population count.
+    by_size: list[list[int]] = [[] for _ in range(m + 1)]
+    for subset in range(1, full + 1):
+        by_size[subset.bit_count()].append(subset)
+    for size in range(2, m + 1):
+        for subset in by_size[size]:
+            best_entry: tuple[float, float, frozenset[str], int | None] | None = None
+            remaining = subset
+            while remaining:
+                atom_bit = remaining & -remaining
+                remaining ^= atom_bit
+                atom = atom_bit.bit_length() - 1
+                rest = subset ^ atom_bit
+                rest_entry = best.get(rest)
+                if rest_entry is None:
+                    continue
+                rest_cost, rest_card, rest_vars, _ = rest_entry
+                card, variables = model.join_cardinality(rest_card, rest_vars, atom)
+                cost = rest_cost + card
+                if best_entry is None or cost < best_entry[0]:
+                    best_entry = (cost, card, variables, atom)
+            assert best_entry is not None
+            best[subset] = best_entry
+    # Reconstruct the order from the `last_atom` chain.
+    order: list[int] = []
+    subset = full
+    while subset:
+        _, _, _, last = best[subset]
+        if last is None:
+            order.append(subset.bit_length() - 1)
+            break
+        order.append(last)
+        subset ^= 1 << last
+    order.reverse()
+    return order, best[full][0]
+
+
+def geqo_search(
+    model: CostModel,
+    rng: random.Random,
+    pool_size: int | None = None,
+    generations: int | None = None,
+) -> tuple[list[int], float]:
+    """GEQO-style genetic search over join orders.
+
+    Defaults mirror PostgreSQL's scaling: the pool and generation counts
+    grow with the number of relations, so planner work grows steeply (but
+    polynomially) with query size.  Steady-state replacement: each
+    generation breeds one child by order crossover (OX) of two
+    tournament-selected parents, mutates it, and replaces the worst pool
+    member if the child is better.
+    """
+    m = len(model.base_cardinality)
+    if pool_size is None:
+        pool_size = min(max(2 * m, 16), 256)
+    if generations is None:
+        generations = pool_size * m
+
+    def random_order() -> list[int]:
+        order = list(range(m))
+        rng.shuffle(order)
+        return order
+
+    pool = [(model.order_cost(order), order) for order in (random_order() for _ in range(pool_size))]
+    pool.sort(key=lambda pair: pair[0])
+
+    def tournament() -> list[int]:
+        a, b = rng.randrange(pool_size), rng.randrange(pool_size)
+        return pool[min(a, b)][1]
+
+    for _ in range(generations):
+        child = _order_crossover(tournament(), tournament(), rng)
+        if rng.random() < 0.2:
+            _swap_mutation(child, rng)
+        cost = model.order_cost(child)
+        if cost < pool[-1][0]:
+            pool[-1] = (cost, child)
+            pool.sort(key=lambda pair: pair[0])
+    return pool[0][1], pool[0][0]
+
+
+def _order_crossover(
+    parent_a: list[int], parent_b: list[int], rng: random.Random
+) -> list[int]:
+    """OX crossover: copy a random slice of A, fill the rest in B's order."""
+    m = len(parent_a)
+    if m < 2:
+        return list(parent_a)
+    lo = rng.randrange(m)
+    hi = rng.randrange(lo + 1, m + 1)
+    slice_set = set(parent_a[lo:hi])
+    filler = [atom for atom in parent_b if atom not in slice_set]
+    child = filler[:lo] + parent_a[lo:hi] + filler[lo:]
+    return child
+
+
+def _swap_mutation(order: list[int], rng: random.Random) -> None:
+    i, j = rng.randrange(len(order)), rng.randrange(len(order))
+    order[i], order[j] = order[j], order[i]
+
+
+def simulated_annealing_search(
+    model: CostModel,
+    rng: random.Random,
+    initial_temperature: float | None = None,
+    cooling: float = 0.95,
+    steps_per_temperature: int | None = None,
+    floor: float = 1e-3,
+) -> tuple[list[int], float]:
+    """Simulated-annealing search over join orders (Ioannidis–Wong).
+
+    The paper's related work cites simulated annealing as the other
+    classic incomplete strategy for large plan spaces; including it makes
+    the Figure 2 ablation three-way (DP vs GEQO vs SA).  Standard
+    schedule: swap-neighbour moves, geometric cooling, acceptance with
+    probability ``exp(-delta / T)``.
+    """
+    m = len(model.base_cardinality)
+    current = list(range(m))
+    rng.shuffle(current)
+    current_cost = model.order_cost(current) if m > 1 else 0.0
+    best, best_cost = list(current), current_cost
+    if m <= 1:
+        return best, best_cost
+    if initial_temperature is None:
+        initial_temperature = max(current_cost, 1.0)
+    if steps_per_temperature is None:
+        steps_per_temperature = 4 * m
+    temperature = initial_temperature
+    while temperature > floor * initial_temperature:
+        for _ in range(steps_per_temperature):
+            candidate = list(current)
+            _swap_mutation(candidate, rng)
+            cost = model.order_cost(candidate)
+            delta = cost - current_cost
+            if delta <= 0 or rng.random() < math.exp(
+                -delta / max(temperature, 1e-12)
+            ):
+                current, current_cost = candidate, cost
+                if cost < best_cost:
+                    best, best_cost = list(candidate), cost
+        temperature *= cooling
+    return best, best_cost
+
+
+# ----------------------------------------------------------------------
+# Planner entry points
+# ----------------------------------------------------------------------
+def plan_naive(
+    query: ConjunctiveQuery,
+    database: Database,
+    rng: random.Random | None = None,
+    geqo_threshold: int = DEFAULT_GEQO_THRESHOLD,
+) -> PlannerResult:
+    """Plan a naive-form query: the planner owns the join order.
+
+    Below ``geqo_threshold`` atoms, exhaustive DP; at or above it, the
+    genetic search — exactly PostgreSQL's policy.  The returned order can
+    be passed to the SQL executor's ``from_order``.
+    """
+    rng = rng or random.Random(0)
+    model = CostModel.from_query(query, database)
+    start = time.perf_counter()
+    if len(query.atoms) < geqo_threshold:
+        order, cost = dp_search(model)
+        strategy = "dp"
+    else:
+        order, cost = geqo_search(model, rng)
+        strategy = "geqo"
+    elapsed = time.perf_counter() - start
+    return PlannerResult(
+        order=order,
+        estimated_cost=cost,
+        plans_costed=model.plans_costed,
+        elapsed_seconds=elapsed,
+        strategy=strategy,
+    )
+
+
+def plan_straightforward(
+    query: ConjunctiveQuery, database: Database
+) -> PlannerResult:
+    """Plan a straightforward-form query: the join order is pinned by the
+    SQL, so the planner merely costs the given order (plus the quadratic
+    predicate-localization pass any planner performs)."""
+    model = CostModel.from_query(query, database)
+    order = list(range(len(query.atoms)))
+    start = time.perf_counter()
+    cost = model.order_cost(order)
+    # Predicate localization: a real planner still touches every pair of
+    # relations sharing a variable to place join clauses.
+    localization_work = 0
+    for i, vars_i in enumerate(model.atom_variables):
+        for vars_j in model.atom_variables[i + 1 :]:
+            if vars_i & vars_j:
+                localization_work += 1
+    elapsed = time.perf_counter() - start
+    return PlannerResult(
+        order=order,
+        estimated_cost=cost,
+        plans_costed=model.plans_costed + localization_work,
+        elapsed_seconds=elapsed,
+        strategy="fixed",
+    )

@@ -1,0 +1,101 @@
+"""Workload generators: the queries and databases the paper evaluates on.
+
+- :mod:`repro.workloads.graphs` — random and structured graph families
+  (Figure 1);
+- :mod:`repro.workloads.coloring` — k-COLOR instances as project-join
+  queries over the six-tuple ``edge`` relation (Section 2);
+- :mod:`repro.workloads.sat` — random k-SAT as conjunctive queries
+  (Section 7);
+- :mod:`repro.workloads.csp` — the general CSP↔conjunctive-query
+  correspondence both of the above specialize.
+"""
+
+from repro.workloads.coloring import (
+    ColoringInstance,
+    coloring_instance,
+    coloring_query,
+    count_colorings_brute_force,
+    is_colorable_brute_force,
+    sample_free_vertices,
+    variable_name,
+)
+from repro.workloads.csp import (
+    Constraint,
+    CspInstance,
+    all_different_constraint,
+    csp_to_query,
+    solve_brute_force,
+)
+from repro.workloads.graphs import (
+    STRUCTURED_FAMILIES,
+    Graph,
+    augmented_circular_ladder,
+    augmented_ladder,
+    augmented_path,
+    complete_graph,
+    cycle,
+    grid,
+    ladder,
+    path,
+    pentagon,
+    random_graph,
+    random_graph_with_density,
+    star,
+)
+from repro.workloads.mediator import (
+    MEDIATOR_SHAPES,
+    MediatorConfig,
+    chain_query,
+    snowflake_query,
+    star_query,
+)
+from repro.workloads.sat import (
+    SatFormula,
+    clause_relation,
+    clause_relation_name,
+    is_satisfiable_brute_force,
+    random_ksat,
+    sat_instance,
+    sat_variable_name,
+)
+
+__all__ = [
+    "Graph",
+    "random_graph",
+    "random_graph_with_density",
+    "augmented_path",
+    "ladder",
+    "augmented_ladder",
+    "augmented_circular_ladder",
+    "cycle",
+    "path",
+    "complete_graph",
+    "grid",
+    "star",
+    "pentagon",
+    "STRUCTURED_FAMILIES",
+    "ColoringInstance",
+    "coloring_instance",
+    "coloring_query",
+    "sample_free_vertices",
+    "variable_name",
+    "is_colorable_brute_force",
+    "count_colorings_brute_force",
+    "SatFormula",
+    "random_ksat",
+    "sat_instance",
+    "sat_variable_name",
+    "clause_relation",
+    "clause_relation_name",
+    "is_satisfiable_brute_force",
+    "MediatorConfig",
+    "MEDIATOR_SHAPES",
+    "chain_query",
+    "star_query",
+    "snowflake_query",
+    "Constraint",
+    "CspInstance",
+    "csp_to_query",
+    "solve_brute_force",
+    "all_different_constraint",
+]

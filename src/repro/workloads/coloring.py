@@ -1,0 +1,136 @@
+"""k-COLOR instances as project-join queries (Section 2 of the paper).
+
+Each edge ``(u, v)`` of the graph becomes an atom ``edge(v_u, v_v)`` over
+the single binary relation holding all pairs of *distinct* colors (six
+tuples for three colors).  The query is nonempty over that database iff
+the graph is k-colorable — the Chandra–Merlin correspondence.
+
+Boolean queries are emulated as in the paper by selecting a single
+variable (the first vertex of the first edge); the genuinely 0-ary form is
+also available.  Non-Boolean variants keep a random fraction (20% in the
+paper) of the vertices free.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import product
+
+from repro.core.query import Atom, ConjunctiveQuery
+from repro.errors import WorkloadError
+from repro.relalg.database import Database, edge_database
+from repro.workloads.graphs import Graph
+
+
+def variable_name(vertex: int) -> str:
+    """The query variable standing for graph vertex ``vertex``.
+
+    One-indexed to match the paper's ``v1, v2, ...`` naming.
+    """
+    return f"v{vertex + 1}"
+
+
+@dataclass(frozen=True)
+class ColoringInstance:
+    """A ready-to-run workload: query + database + provenance."""
+
+    graph: Graph
+    query: ConjunctiveQuery
+    database: Database
+    colors: int
+
+    @property
+    def is_boolean(self) -> bool:
+        """Whether the query is (emulated-)Boolean: at most one selected
+        variable, per the paper's convention."""
+        return len(self.query.free_variables) <= 1
+
+
+def coloring_query(
+    graph: Graph,
+    free_vertices: tuple[int, ...] = (),
+    emulate_boolean: bool = True,
+) -> ConjunctiveQuery:
+    """The project-join query ``π(...) ⨝_{(u,v) ∈ E} edge(v_u, v_v)``.
+
+    With no ``free_vertices`` and ``emulate_boolean`` (the default), the
+    first vertex of the first edge is selected, mirroring the paper's SQL
+    emulation of Boolean queries; pass ``emulate_boolean=False`` for a
+    genuinely 0-ary query.
+    """
+    if not graph.edges:
+        raise WorkloadError("cannot build a query from an edgeless graph")
+    atoms = tuple(
+        Atom("edge", (variable_name(u), variable_name(v))) for u, v in graph.edges
+    )
+    if free_vertices:
+        free = tuple(variable_name(v) for v in free_vertices)
+    elif emulate_boolean:
+        free = (variable_name(graph.edges[0][0]),)
+    else:
+        free = ()
+    return ConjunctiveQuery(atoms=atoms, free_variables=free)
+
+
+def sample_free_vertices(
+    graph: Graph, fraction: float, rng: random.Random
+) -> tuple[int, ...]:
+    """Pick ``fraction`` of the vertices (rounded, at least one when the
+    fraction is positive) uniformly at random — the paper uses 20%.
+
+    Only vertices that occur in some edge are eligible: the query's
+    variables are exactly the edge endpoints.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise WorkloadError(f"fraction must be in [0, 1], got {fraction}")
+    touched = sorted({v for edge in graph.edges for v in edge})
+    if fraction == 0.0 or not touched:
+        return ()
+    count = max(1, round(fraction * len(touched)))
+    return tuple(sorted(rng.sample(touched, count)))
+
+
+def coloring_instance(
+    graph: Graph,
+    colors: int = 3,
+    free_fraction: float = 0.0,
+    rng: random.Random | None = None,
+    emulate_boolean: bool = True,
+) -> ColoringInstance:
+    """Build the full workload for a graph: query + the k-COLOR database.
+
+    ``free_fraction > 0`` produces the paper's non-Boolean variant (20% of
+    vertices free); otherwise the Boolean emulation is used.
+    """
+    if colors < 2:
+        raise WorkloadError("k-COLOR needs at least 2 colors")
+    if free_fraction > 0.0:
+        rng = rng or random.Random(0)
+        free_vertices = sample_free_vertices(graph, free_fraction, rng)
+    else:
+        free_vertices = ()
+    query = coloring_query(
+        graph, free_vertices=free_vertices, emulate_boolean=emulate_boolean
+    )
+    database = edge_database(colors=tuple(range(1, colors + 1)))
+    return ColoringInstance(graph=graph, query=query, database=database, colors=colors)
+
+
+def is_colorable_brute_force(graph: Graph, colors: int = 3) -> bool:
+    """Reference oracle: try every coloring (exponential; tests only)."""
+    if graph.vertices == 0:
+        return True
+    for assignment in product(range(colors), repeat=graph.vertices):
+        if all(assignment[u] != assignment[v] for u, v in graph.edges):
+            return True
+    return False
+
+
+def count_colorings_brute_force(graph: Graph, colors: int = 3) -> int:
+    """Reference oracle: number of proper colorings (tests only)."""
+    total = 0
+    for assignment in product(range(colors), repeat=graph.vertices):
+        if all(assignment[u] != assignment[v] for u, v in graph.edges):
+            total += 1
+    return total

@@ -1,0 +1,121 @@
+"""Generic constraint-satisfaction problems as project-join queries.
+
+The Kolaitis–Vardi correspondence the paper builds on: a CSP instance
+(variables, domains, constraints) *is* a Boolean conjunctive query over a
+database whose relations are the constraints' allowed-tuple lists.  This
+module makes the correspondence executable for arbitrary CSPs, which also
+generalizes the 3-COLOR and SAT encoders (both are special cases).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from itertools import product
+from typing import Any
+
+from repro.core.query import Atom, ConjunctiveQuery
+from repro.errors import WorkloadError
+from repro.relalg.database import Database
+from repro.relalg.relation import Relation
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One constraint: a scope (variable names) and its allowed tuples."""
+
+    scope: tuple[str, ...]
+    allowed: tuple[tuple[Any, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.scope:
+            raise WorkloadError("constraint scope cannot be empty")
+        if len(set(self.scope)) != len(self.scope):
+            raise WorkloadError(f"repeated variable in scope {self.scope!r}")
+        for row in self.allowed:
+            if len(row) != len(self.scope):
+                raise WorkloadError(
+                    f"tuple {row!r} does not match scope arity {len(self.scope)}"
+                )
+
+
+@dataclass(frozen=True)
+class CspInstance:
+    """A CSP: variables with finite domains, plus constraints."""
+
+    domains: dict[str, tuple[Any, ...]]
+    constraints: tuple[Constraint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.constraints:
+            raise WorkloadError("CSP needs at least one constraint")
+        for constraint in self.constraints:
+            for variable in constraint.scope:
+                if variable not in self.domains:
+                    raise WorkloadError(
+                        f"constraint mentions unknown variable {variable!r}"
+                    )
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """All CSP variables, sorted."""
+        return tuple(sorted(self.domains))
+
+
+def csp_to_query(
+    csp: CspInstance, free_variables: Sequence[str] = ()
+) -> tuple[ConjunctiveQuery, Database]:
+    """Encode a CSP as (conjunctive query, database).
+
+    Constraints with identical allowed-tuple sets (up to arity) share a
+    relation; each constraint contributes one atom binding the relation's
+    positions to the constraint's scope.  The query is nonempty over the
+    database iff the CSP is satisfiable, and with ``free_variables`` the
+    answer relation is the set of consistent partial assignments.
+    """
+    database = Database()
+    signature_to_name: dict[tuple[int, frozenset[tuple[Any, ...]]], str] = {}
+    atoms = []
+    for constraint in csp.constraints:
+        signature = (len(constraint.scope), frozenset(constraint.allowed))
+        name = signature_to_name.get(signature)
+        if name is None:
+            name = f"c{len(signature_to_name) + 1}"
+            signature_to_name[signature] = name
+            columns = tuple(f"a{i + 1}" for i in range(len(constraint.scope)))
+            database.add(name, Relation(columns, constraint.allowed))
+        atoms.append(Atom(name, constraint.scope))
+    query = ConjunctiveQuery(
+        atoms=tuple(atoms), free_variables=tuple(free_variables)
+    )
+    return query, database
+
+
+def solve_brute_force(csp: CspInstance) -> dict[str, Any] | None:
+    """Reference oracle: enumerate the full assignment space (tests only)."""
+    variables = csp.variables
+    scopes = [
+        ([variables.index(v) for v in constraint.scope], set(constraint.allowed))
+        for constraint in csp.constraints
+    ]
+    for values in product(*(csp.domains[v] for v in variables)):
+        if all(
+            tuple(values[i] for i in positions) in allowed
+            for positions, allowed in scopes
+        ):
+            return dict(zip(variables, values))
+    return None
+
+
+def all_different_constraint(scope: Iterable[str], domain: Sequence[Any]) -> Constraint:
+    """An all-different constraint, tabulated over ``domain``.
+
+    Handy for building coloring-style CSPs directly.
+    """
+    scope = tuple(scope)
+    allowed = tuple(
+        row
+        for row in product(domain, repeat=len(scope))
+        if len(set(row)) == len(row)
+    )
+    return Constraint(scope=scope, allowed=allowed)

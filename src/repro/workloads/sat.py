@@ -1,0 +1,174 @@
+"""k-SAT instances as project-join queries.
+
+Section 7 of the paper reports that its results on 3-SAT and 2-SAT queries
+are consistent with the 3-COLOR findings.  This module supplies that
+workload: a uniform random k-SAT generator and the standard CSP encoding
+of SAT as a conjunctive query — one relation per *sign pattern* of a
+clause, holding every Boolean assignment of its variables except the
+single falsifying one (so a ``k``-clause relation has ``2^k - 1`` tuples).
+A formula is satisfiable iff the query is nonempty.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import product
+
+from repro.core.query import Atom, ConjunctiveQuery
+from repro.errors import WorkloadError
+from repro.relalg.database import Database
+from repro.relalg.relation import Relation
+
+#: A literal is (variable_index, is_positive).
+Literal = tuple[int, bool]
+Clause = tuple[Literal, ...]
+
+
+@dataclass(frozen=True)
+class SatFormula:
+    """A CNF formula over variables ``0..variables-1``."""
+
+    variables: int
+    clauses: tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            indices = [index for index, _ in clause]
+            if len(set(indices)) != len(indices):
+                raise WorkloadError(f"clause {clause!r} repeats a variable")
+            for index, _ in clause:
+                if not 0 <= index < self.variables:
+                    raise WorkloadError(
+                        f"literal variable {index} out of range "
+                        f"for {self.variables} variables"
+                    )
+
+    @property
+    def clause_count(self) -> int:
+        """Number of clauses."""
+        return len(self.clauses)
+
+    @property
+    def density(self) -> float:
+        """Clauses per variable — the SAT analogue of edge density."""
+        if self.variables == 0:
+            return 0.0
+        return self.clause_count / self.variables
+
+
+def random_ksat(
+    variables: int, clauses: int, rng: random.Random, width: int = 3
+) -> SatFormula:
+    """Uniform random k-SAT: each clause draws ``width`` distinct variables
+    and independent random signs; duplicate clauses are rejected."""
+    if width > variables:
+        raise WorkloadError(
+            f"clause width {width} exceeds variable count {variables}"
+        )
+    max_distinct = _count_max_clauses(variables, width)
+    if clauses > max_distinct:
+        raise WorkloadError(
+            f"{clauses} distinct clauses do not exist for "
+            f"{variables} variables at width {width}"
+        )
+    seen: set[frozenset[Literal]] = set()
+    out: list[Clause] = []
+    while len(out) < clauses:
+        indices = rng.sample(range(variables), width)
+        clause = tuple(
+            (index, bool(rng.getrandbits(1))) for index in sorted(indices)
+        )
+        key = frozenset(clause)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(clause)
+    return SatFormula(variables=variables, clauses=tuple(out))
+
+
+def _count_max_clauses(variables: int, width: int) -> int:
+    from math import comb
+
+    return comb(variables, width) * (2**width)
+
+
+def sat_variable_name(index: int) -> str:
+    """Query variable standing for SAT variable ``index`` (one-indexed)."""
+    return f"x{index + 1}"
+
+
+def _sign_pattern(clause: Clause) -> str:
+    return "".join("p" if positive else "n" for _, positive in clause)
+
+
+def clause_relation_name(clause: Clause) -> str:
+    """Relation name for a clause's sign pattern (``cl_ppn`` and so on):
+    clauses with the same pattern share one relation, keeping the database
+    small as in the paper's single-``edge``-relation setup."""
+    return f"cl_{_sign_pattern(clause)}"
+
+
+def clause_relation(clause: Clause) -> Relation:
+    """All assignments of the clause's variables except the falsifying one.
+
+    Columns are positional (``a1..ak``); the encoder renames them to the
+    clause's variables via the atom.
+    """
+    width = len(clause)
+    falsifying = tuple(0 if positive else 1 for _, positive in clause)
+    rows = [row for row in product((0, 1), repeat=width) if row != falsifying]
+    return Relation(tuple(f"a{i + 1}" for i in range(width)), rows)
+
+
+def sat_instance(
+    formula: SatFormula,
+    free_fraction: float = 0.0,
+    rng: random.Random | None = None,
+) -> tuple[ConjunctiveQuery, Database]:
+    """Encode a CNF formula as (query, database).
+
+    With ``free_fraction == 0`` the query emulates a Boolean query by
+    selecting the first clause's first variable, as the paper does for
+    3-COLOR.  A positive fraction keeps that many variables free.
+    """
+    if not formula.clauses:
+        raise WorkloadError("cannot encode a formula with no clauses")
+    database = Database()
+    atoms = []
+    for clause in formula.clauses:
+        name = clause_relation_name(clause)
+        if name not in database:
+            database.add(name, clause_relation(clause))
+        atoms.append(
+            Atom(name, tuple(sat_variable_name(index) for index, _ in clause))
+        )
+    occurring = sorted(
+        {index for clause in formula.clauses for index, _ in clause}
+    )
+    if free_fraction > 0.0:
+        if not 0.0 < free_fraction <= 1.0:
+            raise WorkloadError(f"fraction must be in (0, 1], got {free_fraction}")
+        rng = rng or random.Random(0)
+        count = max(1, round(free_fraction * len(occurring)))
+        free = tuple(
+            sat_variable_name(index) for index in sorted(rng.sample(occurring, count))
+        )
+    else:
+        free = (sat_variable_name(formula.clauses[0][0][0]),)
+    query = ConjunctiveQuery(atoms=tuple(atoms), free_variables=free)
+    return query, database
+
+
+def is_satisfiable_brute_force(formula: SatFormula) -> bool:
+    """Reference oracle: try every assignment (tests only)."""
+    for assignment in product((0, 1), repeat=formula.variables):
+        if all(
+            any(
+                assignment[index] == (1 if positive else 0)
+                for index, positive in clause
+            )
+            for clause in formula.clauses
+        ):
+            return True
+    return False

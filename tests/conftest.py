@@ -1,0 +1,45 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.relalg.database import edge_database
+from repro.relalg.relation import Relation
+from repro.workloads.coloring import coloring_instance
+from repro.workloads.graphs import Graph, pentagon, random_graph
+
+# One moderate default profile: enough examples to be meaningful, fast
+# enough that the suite stays snappy.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def edge_db():
+    """The paper's 3-COLOR database: one 6-tuple binary relation."""
+    return edge_database()
+
+
+@pytest.fixture
+def pentagon_instance():
+    """Appendix A's running example: the 5-cycle's 3-COLOR workload."""
+    return coloring_instance(pentagon())
+
+
+@pytest.fixture
+def small_relation():
+    return Relation(("u", "w"), [(1, 2), (2, 1), (1, 3)])
+
+
+def make_random_graph(order: int, edges: int, seed: int) -> Graph:
+    """Deterministic random graph helper for parametrized tests."""
+    return random_graph(order, edges, random.Random(seed))

@@ -1,0 +1,150 @@
+"""Bucket elimination: placement, processing order, routing, tracing."""
+
+import random
+
+import pytest
+
+from repro.core.buckets import (
+    BucketTrace,
+    bucket_elimination_plan,
+    mcs_bucket_order,
+)
+from repro.core.query import Atom, ConjunctiveQuery
+from repro.errors import OrderingError
+from repro.plans import Project, iter_nodes, plan_width
+from repro.relalg.database import Database, edge_database
+from repro.relalg.engine import evaluate
+from repro.relalg.relation import Relation
+from repro.workloads.coloring import coloring_query
+from repro.workloads.graphs import cycle, pentagon
+
+
+@pytest.fixture
+def pentagon_query():
+    return coloring_query(pentagon())
+
+
+class TestOrders:
+    def test_mcs_bucket_order_free_first(self):
+        query = coloring_query(pentagon(), free_vertices=(2, 4))
+        order = mcs_bucket_order(query)
+        assert set(order[:2]) == set(query.free_variables)
+
+    def test_explicit_order_must_cover_all_variables(self, pentagon_query):
+        with pytest.raises(OrderingError):
+            bucket_elimination_plan(pentagon_query, order=["v1", "v2"])
+
+    def test_free_after_bound_rejected(self):
+        query = coloring_query(pentagon(), free_vertices=(0,))
+        variables = sorted(query.variables)
+        bad = [v for v in variables if v not in query.free_variables] + list(
+            query.free_variables
+        )
+        with pytest.raises(OrderingError, match="free variables"):
+            bucket_elimination_plan(query, order=bad)
+
+    def test_unknown_heuristic_rejected(self, pentagon_query):
+        with pytest.raises(OrderingError, match="unknown ordering heuristic"):
+            bucket_elimination_plan(pentagon_query, heuristic="sorcery")
+
+
+class TestProcessing:
+    def test_pentagon_answer(self, pentagon_query):
+        bucket = bucket_elimination_plan(pentagon_query)
+        result, _ = evaluate(bucket.plan, edge_database())
+        assert result.cardinality == 3
+
+    def test_trace_covers_processed_buckets(self, pentagon_query):
+        bucket = bucket_elimination_plan(pentagon_query)
+        assert all(isinstance(step, BucketTrace) for step in bucket.trace)
+        # Every bound variable that heads a nonempty bucket appears once.
+        traced = [step.variable for step in bucket.trace]
+        assert len(traced) == len(set(traced))
+
+    def test_bound_variable_eliminated_in_its_bucket(self, pentagon_query):
+        bucket = bucket_elimination_plan(pentagon_query)
+        free = set(pentagon_query.free_variables)
+        for step in bucket.trace:
+            if step.variable not in free:
+                assert step.variable not in step.output_columns
+
+    def test_induced_width_pentagon(self, pentagon_query):
+        # Pentagon treewidth is 2: optimal bucket processing computes
+        # relations of arity exactly 2.
+        bucket = bucket_elimination_plan(pentagon_query)
+        assert bucket.induced_width == 2
+
+    def test_plan_width_tracks_induced_width(self, pentagon_query):
+        bucket = bucket_elimination_plan(pentagon_query)
+        assert plan_width(bucket.plan) <= bucket.induced_width + 1
+
+    def test_boolean_zero_ary_result(self):
+        query = coloring_query(cycle(4), emulate_boolean=False)
+        bucket = bucket_elimination_plan(query)
+        result, _ = evaluate(bucket.plan, edge_database())
+        assert result.columns == ()
+        assert not result.is_empty()
+
+    def test_empty_answer_on_uncolorable(self):
+        # K4 is not 3-colorable.
+        from repro.workloads.graphs import complete_graph
+
+        query = coloring_query(complete_graph(4))
+        bucket = bucket_elimination_plan(query)
+        result, _ = evaluate(bucket.plan, edge_database())
+        assert result.is_empty()
+
+    def test_disconnected_query_cross_joins_finals(self):
+        query = ConjunctiveQuery(
+            atoms=(Atom("edge", ("a", "b")), Atom("edge", ("c", "d"))),
+            free_variables=("a", "c"),
+        )
+        bucket = bucket_elimination_plan(query)
+        result, _ = evaluate(bucket.plan, edge_database())
+        assert result.cardinality == 9  # 3 choices for a x 3 for c
+
+    def test_unary_relation_buckets(self):
+        db = Database(
+            {
+                "r": Relation(("x",), [(1,), (2,)]),
+                "s": Relation(("x", "y"), [(1, 5)]),
+            }
+        )
+        query = ConjunctiveQuery(
+            atoms=(Atom("r", ("a",)), Atom("s", ("a", "b"))),
+            free_variables=("b",),
+        )
+        bucket = bucket_elimination_plan(query)
+        result, _ = evaluate(bucket.plan, db)
+        assert result.rows == {(5,)}
+
+    def test_single_variable_query_witness_kept(self):
+        """All residents mention only the eliminated variable: the witness
+        rule keeps the intermediate relation 1-ary instead of 0-ary."""
+        db = Database(
+            {
+                "r": Relation(("x",), [(1,), (2,)]),
+                "s": Relation(("x",), [(2,), (3,)]),
+                "t": Relation(("y", "z"), [(7, 8)]),
+            }
+        )
+        query = ConjunctiveQuery(
+            atoms=(Atom("r", ("a",)), Atom("s", ("a",)), Atom("t", ("y", "z"))),
+            free_variables=("y",),
+        )
+        bucket = bucket_elimination_plan(query)
+        for node in iter_nodes(bucket.plan):
+            if isinstance(node, Project) and node is not bucket.plan:
+                assert node.columns
+        result, _ = evaluate(bucket.plan, db)
+        assert result.rows == {(7,)}
+
+
+class TestHeuristics:
+    @pytest.mark.parametrize("heuristic", ["mcs", "min_degree", "min_fill", "random"])
+    def test_all_heuristics_correct(self, pentagon_query, heuristic):
+        bucket = bucket_elimination_plan(
+            pentagon_query, heuristic=heuristic, rng=random.Random(0)
+        )
+        result, _ = evaluate(bucket.plan, edge_database())
+        assert result.cardinality == 3

@@ -1,0 +1,275 @@
+"""Chandra–Merlin containment and minimization, decided structurally."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.containment import (
+    are_equivalent,
+    canonical_database,
+    homomorphism_exists,
+    is_contained,
+    minimize,
+)
+from repro.core.query import Atom, ConjunctiveQuery
+from repro.errors import QueryStructureError
+from repro.workloads.coloring import coloring_query
+from repro.workloads.graphs import cycle, path, random_graph
+
+
+def edge_query(edges, free=("x0",)):
+    """Boolean-ish query over a single binary relation ``e``."""
+    atoms = tuple(Atom("e", (f"x{u}", f"x{v}")) for u, v in edges)
+    return ConjunctiveQuery(atoms=atoms, free_variables=free)
+
+
+class TestCanonicalDatabase:
+    def test_one_tuple_per_atom(self):
+        query = edge_query([(0, 1), (1, 2)])
+        canonical = canonical_database(query)
+        assert canonical.database["e"].cardinality == 2
+
+    def test_frozen_head(self):
+        query = edge_query([(0, 1)], free=("x0", "x1"))
+        canonical = canonical_database(query)
+        assert canonical.frozen_head == ("«x0»", "«x1»")
+
+    def test_inconsistent_arity_rejected(self):
+        query = ConjunctiveQuery(
+            atoms=(Atom("r", ("a", "b")), Atom("r", ("a",))),
+        )
+        with pytest.raises(QueryStructureError, match="arities"):
+            canonical_database(query)
+
+
+class TestContainment:
+    def test_longer_path_contained_in_shorter(self):
+        """A 3-path maps homomorphically onto... actually: the query
+        "there is a 2-path from x0" contains the query "there is a
+        3-path from x0" is false in general; but every 2-path query
+        contains the 2-path query itself."""
+        two = edge_query([(0, 1), (1, 2)])
+        assert is_contained(two, two)
+
+    def test_path_contained_in_single_edge(self):
+        # Q1: x0 -> x1 -> x2 (answers: starts of 2-paths)
+        # Q2: x0 -> x1       (answers: starts of edges)
+        # Every start of a 2-path starts an edge: Q1 ⊆ Q2.
+        q1 = edge_query([(0, 1), (1, 2)])
+        q2 = edge_query([(0, 1)])
+        assert is_contained(q1, q2)
+        assert not is_contained(q2, q1)
+
+    def test_even_cycle_collapses_to_edge(self):
+        # Boolean query "there is a 4-cycle" is contained in "there is an
+        # edge", and an even cycle maps onto a single back-and-forth edge,
+        # so the reverse holds too (over directed... here e is a plain
+        # relation, so C4 folds onto 2 alternating constants).
+        c4 = ConjunctiveQuery(
+            atoms=(
+                Atom("e", ("a", "b")),
+                Atom("e", ("b", "c")),
+                Atom("e", ("c", "d")),
+                Atom("e", ("d", "a")),
+            ),
+        )
+        edge = ConjunctiveQuery(atoms=(Atom("e", ("a", "b")),))
+        assert is_contained(c4, edge)
+        assert not is_contained(edge, c4)  # an edge need not lie on a C4
+
+    def test_mismatched_schemas_rejected(self):
+        q1 = edge_query([(0, 1)], free=("x0",))
+        q2 = edge_query([(0, 1)], free=("x0", "x1"))
+        with pytest.raises(QueryStructureError):
+            is_contained(q1, q2)
+
+    def test_unknown_relation_means_not_contained(self):
+        q1 = edge_query([(0, 1)])
+        q2 = ConjunctiveQuery(
+            atoms=(Atom("other", ("x0", "x1")),), free_variables=("x0",)
+        )
+        assert not is_contained(q1, q2)
+
+    def test_boolean_containment(self):
+        q1 = ConjunctiveQuery(atoms=(Atom("e", ("a", "b")), Atom("e", ("b", "c"))))
+        q2 = ConjunctiveQuery(atoms=(Atom("e", ("x", "y")),))
+        assert is_contained(q1, q2)
+
+    @pytest.mark.parametrize("method", ["straightforward", "early", "bucket"])
+    def test_method_independent(self, method):
+        q1 = edge_query([(0, 1), (1, 2)])
+        q2 = edge_query([(0, 1)])
+        assert is_contained(q1, q2, method=method)
+
+    def test_homomorphism_alias(self):
+        q1 = edge_query([(0, 1), (1, 2)])
+        q2 = edge_query([(0, 1)])
+        # hom: q2 -> q1 exists (map the edge onto the path's first edge).
+        assert homomorphism_exists(q2, q1)
+
+
+class TestMinimize:
+    def test_duplicate_atom_removed(self):
+        query = ConjunctiveQuery(
+            atoms=(Atom("e", ("a", "b")), Atom("e", ("a", "b"))),
+            free_variables=("a",),
+        )
+        minimal = minimize(query)
+        assert len(minimal.atoms) == 1
+
+    def test_folding_chain(self):
+        # x0->x1->x2 with head x0 only: the second atom folds onto the
+        # first only if there's a homomorphism fixing x0 mapping x2->x0;
+        # that requires e(x0,x1) & e(x1,x0)-shaped folding, which a bare
+        # 2-path does not admit — so the chain is already minimal.
+        query = edge_query([(0, 1), (1, 2)])
+        assert len(minimize(query).atoms) == 2
+
+    def test_redundant_specialization_removed(self):
+        # e(a,b) & e(a,c): c can map to b (both only constrained by a).
+        query = ConjunctiveQuery(
+            atoms=(Atom("e", ("a", "b")), Atom("e", ("a", "c"))),
+            free_variables=("a",),
+        )
+        minimal = minimize(query)
+        assert len(minimal.atoms) == 1
+
+    def test_free_variables_block_folding(self):
+        # Same shape, but b and c are both free: no folding allowed.
+        query = ConjunctiveQuery(
+            atoms=(Atom("e", ("a", "b")), Atom("e", ("a", "c"))),
+            free_variables=("a", "b", "c"),
+        )
+        assert len(minimize(query).atoms) == 2
+
+    def test_minimized_equivalent_to_original(self):
+        query = ConjunctiveQuery(
+            atoms=(
+                Atom("e", ("a", "b")),
+                Atom("e", ("a", "c")),
+                Atom("e", ("c", "d")),
+                Atom("e", ("a", "e2")),
+            ),
+            free_variables=("a",),
+        )
+        minimal = minimize(query)
+        assert are_equivalent(minimal, query)
+        assert len(minimal.atoms) <= len(query.atoms)
+
+    def test_directed_cycle_is_a_core(self):
+        # The directed 4-cycle has no proper retract (no 2-cycle among its
+        # atoms), so minimization must leave it untouched.
+        c4 = ConjunctiveQuery(
+            atoms=(
+                Atom("e", ("a", "b")),
+                Atom("e", ("b", "c")),
+                Atom("e", ("c", "d")),
+                Atom("e", ("d", "a")),
+            ),
+        )
+        minimal = minimize(c4)
+        assert len(minimal.atoms) == 4
+
+    def test_cycle_with_chord_shortcut_folds(self):
+        # C4 plus both 2-cycle chords between a and b: the cycle folds
+        # onto the 2-cycle {a->b, b->a}.
+        query = ConjunctiveQuery(
+            atoms=(
+                Atom("e", ("a", "b")),
+                Atom("e", ("b", "a")),
+                Atom("e", ("b", "c")),
+                Atom("e", ("c", "d")),
+                Atom("e", ("d", "a")),
+            ),
+        )
+        minimal = minimize(query)
+        assert len(minimal.atoms) == 2
+        assert are_equivalent(minimal, query)
+
+
+class TestRandomizedSoundness:
+    @given(st.integers(min_value=0, max_value=200))
+    def test_minimize_preserves_answers_on_real_data(self, seed):
+        """Minimized 3-COLOR queries agree with the original on the actual
+        color database (equivalence must hold on *every* database)."""
+        from repro.core.planner import plan_query
+        from repro.relalg.database import edge_database
+        from repro.relalg.engine import evaluate
+
+        rng = random.Random(seed)
+        graph = random_graph(5, rng.randrange(2, 9), rng)
+        query = coloring_query(graph)
+        minimal = minimize(query)
+        db = edge_database()
+        original, _ = evaluate(plan_query(query, "bucket"), db)
+        reduced, _ = evaluate(plan_query(minimal, "bucket"), db)
+        assert original == reduced
+
+    @given(st.integers(min_value=0, max_value=100))
+    def test_containment_antisymmetry_modulo_equivalence(self, seed):
+        rng = random.Random(seed)
+        g1 = random_graph(4, rng.randrange(1, 6), rng)
+        g2 = random_graph(4, rng.randrange(1, 6), rng)
+        q1 = coloring_query(g1, emulate_boolean=False)
+        q2 = coloring_query(g2, emulate_boolean=False)
+        forward = is_contained(q1, q2)
+        backward = is_contained(q2, q1)
+        if forward and backward:
+            assert are_equivalent(q1, q2)
+
+
+def _brute_force_homomorphism(source, target):
+    """Oracle: search all variable mappings source -> target constants
+    (target's canonical database), fixing shared free variables."""
+    from itertools import product
+
+    from repro.core.containment import canonical_database
+
+    canonical = canonical_database(target)
+    source_vars = sorted(source.variables)
+    # Candidate images: the frozen constants of the target query.
+    images = sorted(
+        {f"«{v}»" for v in target.variables}
+    )
+    fixed = {f: f"«{f}»" for f in source.free_variables}
+    free_positions = [v for v in source_vars if v not in fixed]
+    target_facts = {
+        name: canonical.database.get(name).rows
+        for name in canonical.database.names()
+    }
+    for assignment in product(images, repeat=len(free_positions)):
+        mapping = dict(fixed)
+        mapping.update(zip(free_positions, assignment))
+        ok = True
+        for atom in source.atoms:
+            if atom.relation not in target_facts:
+                ok = False
+                break
+            image = tuple(
+                mapping[t] if isinstance(t, str) else t.value for t in atom.terms
+            )
+            if image not in target_facts[atom.relation]:
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+class TestAgainstBruteForceOracle:
+    @given(st.integers(min_value=0, max_value=150))
+    def test_containment_matches_homomorphism_search(self, seed):
+        """is_contained(q1, q2) must equal 'exists hom q2 -> q1 fixing
+        the head' — checked against an independent exhaustive search."""
+        rng = random.Random(seed)
+        g1 = random_graph(4, rng.randrange(1, 6), rng)
+        g2 = random_graph(4, rng.randrange(1, 6), rng)
+        q1 = coloring_query(g1)
+        q2_base = coloring_query(g2)
+        if not set(q1.free_variables) <= q2_base.variables:
+            return
+        q2 = q2_base.with_free_variables(q1.free_variables)
+        expected = _brute_force_homomorphism(q2, q1)
+        assert is_contained(q1, q2) == expected

@@ -1,0 +1,108 @@
+"""Early projection: projection points, live-variable bookkeeping."""
+
+import pytest
+
+from repro.core.early_projection import early_projection_plan, straightforward_plan
+from repro.core.query import Atom, ConjunctiveQuery
+from repro.plans import Project, Scan, count_joins, iter_nodes, plan_width
+from repro.relalg.database import edge_database
+from repro.relalg.engine import evaluate
+
+
+def path_query(n, free=("v1",)):
+    atoms = tuple(Atom("edge", (f"v{i}", f"v{i + 1}")) for i in range(1, n + 1))
+    return ConjunctiveQuery(atoms=atoms, free_variables=free)
+
+
+class TestStraightforward:
+    def test_left_deep_no_intermediate_projection(self):
+        plan = straightforward_plan(path_query(4))
+        projections = [n for n in iter_nodes(plan) if isinstance(n, Project)]
+        assert len(projections) == 1  # only the final one
+        assert count_joins(plan) == 3  # 4 atoms -> 3 binary joins
+
+    def test_width_grows_with_path_length(self):
+        assert plan_width(straightforward_plan(path_query(5))) == 6
+
+    def test_single_atom(self):
+        query = ConjunctiveQuery(
+            atoms=(Atom("edge", ("a", "b")),), free_variables=("a",)
+        )
+        plan = straightforward_plan(query)
+        result, _ = evaluate(plan, edge_database())
+        assert result.cardinality == 3
+
+    def test_respects_listed_order(self):
+        query = path_query(3)
+        plan = straightforward_plan(query)
+        scans = [n for n in iter_nodes(plan) if isinstance(n, Scan)]
+        assert [s.variables for s in scans] == [
+            ("v1", "v2"), ("v2", "v3"), ("v3", "v4"),
+        ]
+
+
+class TestEarlyProjection:
+    def test_path_stays_narrow(self):
+        # On a path in natural order, each variable dies right after its
+        # second occurrence: width stays 3 regardless of length.
+        plan = early_projection_plan(path_query(8))
+        assert plan_width(plan) == 3
+
+    def test_projects_after_last_occurrence(self):
+        plan = early_projection_plan(path_query(4))
+        projections = [n for n in iter_nodes(plan) if isinstance(n, Project)]
+        assert len(projections) >= 3
+
+    def test_free_variables_never_projected_early(self):
+        query = path_query(4, free=("v1", "v5"))
+        plan = early_projection_plan(query)
+        for node in iter_nodes(plan):
+            if isinstance(node, Project) and node is not plan:
+                assert "v1" in node.columns
+
+    def test_same_answer_as_straightforward(self):
+        query = path_query(5)
+        db = edge_database()
+        a, _ = evaluate(straightforward_plan(query), db)
+        b, _ = evaluate(early_projection_plan(query), db)
+        assert a == b
+
+    def test_never_wider_than_straightforward(self):
+        query = path_query(6)
+        assert plan_width(early_projection_plan(query)) <= plan_width(
+            straightforward_plan(query)
+        )
+
+    def test_fewer_intermediate_tuples_on_paths(self):
+        query = path_query(7)
+        db = edge_database()
+        _, s_stats = evaluate(straightforward_plan(query), db)
+        _, e_stats = evaluate(early_projection_plan(query), db)
+        assert (
+            e_stats.total_intermediate_tuples < s_stats.total_intermediate_tuples
+        )
+
+    def test_disconnected_components_keep_witness(self):
+        """When a component finishes and nothing else is live, one witness
+        variable survives so no intermediate relation is 0-ary."""
+        query = ConjunctiveQuery(
+            atoms=(
+                Atom("edge", ("a", "b")),
+                Atom("edge", ("c", "d")),
+                Atom("edge", ("d", "e")),
+            ),
+            free_variables=("c",),
+        )
+        plan = early_projection_plan(query)
+        for node in iter_nodes(plan):
+            if isinstance(node, Project) and node is not plan:
+                assert node.columns, "intermediate 0-ary projection leaked"
+        result, _ = evaluate(plan, edge_database())
+        assert result.cardinality == 3
+
+    def test_last_atom_projection_deferred_to_final(self):
+        # Variables dying at the last atom are handled by the final
+        # projection, not an extra intermediate one.
+        plan = early_projection_plan(path_query(2))
+        assert isinstance(plan, Project)
+        assert plan.columns == ("v1",)

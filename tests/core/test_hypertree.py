@@ -1,0 +1,126 @@
+"""Generalized hypertree width: cover numbers and the acyclicity bridge."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.hypertree import (
+    cover_number,
+    generalized_hypertree_width_of,
+    ghw_upper_bound,
+    is_width_one,
+)
+from repro.core.join_graph import join_graph
+from repro.core.query import Atom, ConjunctiveQuery
+from repro.core.semijoins import is_acyclic
+from repro.core.tree_decomposition import trivial_decomposition
+from repro.errors import QueryStructureError
+from repro.workloads.coloring import coloring_query
+from repro.workloads.graphs import (
+    augmented_path,
+    complete_graph,
+    cycle,
+    path,
+    random_graph,
+    star,
+)
+
+
+class TestCoverNumber:
+    def test_empty_target(self):
+        assert cover_number((), [frozenset({"a"})]) == 0
+
+    def test_single_scheme_covers(self):
+        assert cover_number({"a", "b"}, [frozenset({"a", "b", "c"})]) == 1
+
+    def test_needs_two(self):
+        schemes = [frozenset({"a", "b"}), frozenset({"c", "d"})]
+        assert cover_number({"a", "c"}, schemes) == 2
+
+    def test_prefers_big_scheme(self):
+        schemes = [
+            frozenset({"a"}),
+            frozenset({"b"}),
+            frozenset({"c"}),
+            frozenset({"a", "b", "c"}),
+        ]
+        assert cover_number({"a", "b", "c"}, schemes) == 1
+
+    def test_uncoverable_rejected(self):
+        with pytest.raises(QueryStructureError, match="no scheme"):
+            cover_number({"ghost"}, [frozenset({"a"})])
+
+    def test_exactness_on_overlapping_schemes(self):
+        schemes = [
+            frozenset({"a", "b"}),
+            frozenset({"b", "c"}),
+            frozenset({"c", "d"}),
+            frozenset({"a", "d"}),
+        ]
+        assert cover_number({"a", "b", "c", "d"}, schemes) == 2
+
+
+class TestGhwOfDecomposition:
+    def test_trivial_decomposition_of_wide_atom(self):
+        # One 4-ary atom: the whole variable set is one scheme -> GHW 1
+        # even though treewidth is 3.
+        query = ConjunctiveQuery(atoms=(Atom("r", ("a", "b", "c", "d")),))
+        td = trivial_decomposition(join_graph(query))
+        assert generalized_hypertree_width_of(query, td) == 1
+
+    def test_trivial_decomposition_of_binary_cycle(self):
+        query = coloring_query(cycle(6), emulate_boolean=False)
+        td = trivial_decomposition(join_graph(query))
+        # Covering all 6 variables with binary edge atoms needs 3.
+        assert generalized_hypertree_width_of(query, td) == 3
+
+
+class TestUpperBound:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [(path(4), 1), (star(5), 1), (augmented_path(3), 1), (cycle(5), 2)],
+    )
+    def test_known_families(self, graph, expected):
+        query = coloring_query(graph, emulate_boolean=False)
+        assert ghw_upper_bound(query) == expected
+
+    def test_clique_needs_half(self):
+        # K4 with binary atoms: bags of size 4 need 2 atoms.
+        query = coloring_query(complete_graph(4), emulate_boolean=False)
+        assert ghw_upper_bound(query) == 2
+
+    def test_wide_atoms_beat_treewidth(self):
+        """The hypertree story: one wide atom makes GHW 1 where treewidth
+        is large."""
+        query = ConjunctiveQuery(
+            atoms=(
+                Atom("wide", ("a", "b", "c", "d", "e2")),
+                Atom("edge", ("a", "e2")),
+            )
+        )
+        assert ghw_upper_bound(query) == 1
+
+    @given(st.integers(min_value=0, max_value=200))
+    def test_width_one_iff_acyclic(self, seed):
+        """The classic theorem GHW = 1 ⟺ α-acyclic, cross-checked against
+        the independent GYO implementation on random Boolean queries."""
+        rng = random.Random(seed)
+        order = rng.randrange(3, 8)
+        max_edges = order * (order - 1) // 2
+        graph = random_graph(order, rng.randrange(2, max_edges + 1), rng)
+        query = coloring_query(graph, emulate_boolean=False)
+        assert is_width_one(query) == is_acyclic(query)
+
+    @given(st.integers(min_value=0, max_value=100))
+    def test_ghw_at_most_treewidth_plus_one(self, seed):
+        """Binary atoms: covering a bag of b variables needs at most
+        ceil(b/2) <= b atoms, so GHW <= tw + 1 always."""
+        from repro.core.treewidth import treewidth_exact
+
+        rng = random.Random(seed)
+        graph = random_graph(6, rng.randrange(2, 12), rng)
+        query = coloring_query(graph, emulate_boolean=False)
+        tw = treewidth_exact(join_graph(query))
+        assert ghw_upper_bound(query) <= tw + 1

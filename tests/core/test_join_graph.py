@@ -1,0 +1,69 @@
+"""Join-graph construction: atom cliques plus the target-schema clique."""
+
+from repro.core.join_graph import is_clique, join_graph, primal_graph_of_cliques
+from repro.core.query import Atom, ConjunctiveQuery
+
+
+def test_binary_atoms_yield_edges():
+    query = ConjunctiveQuery(
+        atoms=(Atom("edge", ("a", "b")), Atom("edge", ("b", "c")))
+    )
+    graph = join_graph(query)
+    assert set(graph.nodes) == {"a", "b", "c"}
+    assert graph.has_edge("a", "b")
+    assert graph.has_edge("b", "c")
+    assert not graph.has_edge("a", "c")
+
+
+def test_wide_atom_yields_clique():
+    query = ConjunctiveQuery(atoms=(Atom("r", ("a", "b", "c")),))
+    graph = join_graph(query)
+    assert is_clique(graph, {"a", "b", "c"})
+
+
+def test_target_schema_clique_added():
+    # a and c never co-occur in an atom, but both are free.
+    query = ConjunctiveQuery(
+        atoms=(Atom("edge", ("a", "b")), Atom("edge", ("b", "c"))),
+        free_variables=("a", "c"),
+    )
+    graph = join_graph(query)
+    assert graph.has_edge("a", "c")
+
+
+def test_boolean_query_adds_no_extra_edges():
+    query = ConjunctiveQuery(
+        atoms=(Atom("edge", ("a", "b")), Atom("edge", ("c", "d")))
+    )
+    graph = join_graph(query)
+    assert graph.number_of_edges() == 2
+
+
+def test_single_free_variable_adds_nothing():
+    query = ConjunctiveQuery(
+        atoms=(Atom("edge", ("a", "b")),), free_variables=("a",)
+    )
+    graph = join_graph(query)
+    assert graph.number_of_edges() == 1
+
+
+def test_unary_atom_still_adds_node():
+    query = ConjunctiveQuery(atoms=(Atom("r", ("lonely",)),))
+    graph = join_graph(query)
+    assert "lonely" in graph.nodes
+    assert graph.number_of_edges() == 0
+
+
+def test_primal_graph_of_cliques():
+    graph = primal_graph_of_cliques([("a", "b", "c"), ("c", "d")])
+    assert graph.has_edge("a", "c")
+    assert graph.has_edge("c", "d")
+    assert not graph.has_edge("a", "d")
+
+
+def test_is_clique_on_non_clique():
+    graph = primal_graph_of_cliques([("a", "b"), ("b", "c")])
+    assert not is_clique(graph, {"a", "b", "c"})
+    assert is_clique(graph, {"a", "b"})
+    assert is_clique(graph, {"a"})
+    assert is_clique(graph, set())

@@ -1,0 +1,190 @@
+"""Join-expression trees: label computation, structure validation, and
+Algorithms 1–3 on hand-built cases."""
+
+import pytest
+
+from repro.core.join_graph import join_graph
+from repro.core.join_tree import (
+    JoinExpressionTree,
+    jet_to_plan,
+    jet_to_tree_decomposition,
+    mark_and_sweep,
+    optimal_jet,
+    tree_decomposition_to_jet,
+)
+from repro.core.query import Atom, ConjunctiveQuery
+from repro.core.tree_decomposition import (
+    decomposition_from_bags,
+    from_elimination_order,
+    trivial_decomposition,
+)
+from repro.errors import QueryStructureError
+from repro.relalg.database import edge_database
+from repro.relalg.engine import evaluate
+
+
+@pytest.fixture
+def path_query():
+    return ConjunctiveQuery(
+        atoms=(
+            Atom("edge", ("a", "b")),
+            Atom("edge", ("b", "c")),
+            Atom("edge", ("c", "d")),
+        ),
+        free_variables=("a",),
+    )
+
+
+def linear_jet(query):
+    """A comb-shaped JET: internal spine 10-11-12, leaves 0,1,2."""
+    return JoinExpressionTree(
+        query=query,
+        root=12,
+        children={12: [11, 2], 11: [10, 1], 10: [0], 0: [], 1: [], 2: []},
+        leaf_atom={0: 0, 1: 1, 2: 2},
+    )
+
+
+class TestLabels:
+    def test_leaf_working_labels_are_atom_schemes(self, path_query):
+        jet = linear_jet(path_query)
+        assert jet.working[0] == {"a", "b"}
+        assert jet.working[2] == {"c", "d"}
+
+    def test_leaf_projected_drops_once_only_vars(self, path_query):
+        jet = linear_jet(path_query)
+        # Leaf 2 carries edge(c, d); d occurs nowhere else and is bound,
+        # so the definition-based projected label drops it.
+        assert jet.projected[2] == {"c"}
+        # Leaf 0 carries edge(a, b); a is free so it survives.
+        assert jet.projected[0] == {"a", "b"}
+
+    def test_internal_working_is_union_of_child_projections(self, path_query):
+        jet = linear_jet(path_query)
+        assert jet.working[11] == jet.projected[10] | jet.projected[1]
+
+    def test_root_projects_to_target(self, path_query):
+        jet = linear_jet(path_query)
+        assert jet.projected[12] == {"a"}
+
+    def test_width(self, path_query):
+        jet = linear_jet(path_query)
+        assert jet.width == max(len(label) for label in jet.working.values())
+
+
+class TestStructureValidation:
+    def test_orphan_node_rejected(self, path_query):
+        with pytest.raises(QueryStructureError):
+            JoinExpressionTree(
+                query=path_query,
+                root=10,
+                children={10: [0, 1, 2], 99: []},
+                leaf_atom={0: 0, 1: 1, 2: 2},
+            )
+
+    def test_atom_must_be_covered_once(self, path_query):
+        with pytest.raises(QueryStructureError):
+            JoinExpressionTree(
+                query=path_query,
+                root=10,
+                children={10: [0, 1]},
+                leaf_atom={0: 0, 1: 1},  # atom 2 missing
+            )
+
+    def test_two_parents_rejected(self, path_query):
+        with pytest.raises(QueryStructureError):
+            JoinExpressionTree(
+                query=path_query,
+                root=10,
+                children={10: [11, 11], 11: [0, 1, 2]},
+                leaf_atom={0: 0, 1: 1, 2: 2},
+            )
+
+    def test_unknown_root_rejected(self, path_query):
+        with pytest.raises(QueryStructureError):
+            JoinExpressionTree(
+                query=path_query,
+                root=77,
+                children={10: [0, 1, 2]},
+                leaf_atom={0: 0, 1: 1, 2: 2},
+            )
+
+
+class TestAlgorithm1:
+    def test_jet_to_decomposition_valid(self, path_query):
+        jet = linear_jet(path_query)
+        td = jet_to_tree_decomposition(jet)
+        td.validate_for(join_graph(path_query))
+
+    def test_width_relationship(self, path_query):
+        jet = linear_jet(path_query)
+        td = jet_to_tree_decomposition(jet)
+        assert td.width == jet.width - 1
+
+
+class TestAlgorithm2:
+    def test_mark_and_sweep_keeps_anchors(self, path_query):
+        graph = join_graph(path_query)
+        td = from_elimination_order(graph, ["a", "b", "c", "d"])
+        simplified, anchor_of_atom, target_anchor = mark_and_sweep(td, path_query)
+        simplified.validate_for(graph)
+        for index, atom in enumerate(path_query.atoms):
+            bag = simplified.bags[anchor_of_atom[index]]
+            assert atom.variable_set <= bag
+        assert set(path_query.free_variables) <= simplified.bags[target_anchor]
+
+    def test_mark_and_sweep_never_widens(self, path_query):
+        graph = join_graph(path_query)
+        td = trivial_decomposition(graph)
+        simplified, _, _ = mark_and_sweep(td, path_query)
+        assert simplified.width <= td.width
+
+    def test_rejects_decomposition_of_wrong_graph(self, path_query):
+        wrong = decomposition_from_bags({0: {"a", "b"}}, [])
+        with pytest.raises(QueryStructureError):
+            mark_and_sweep(wrong, path_query)
+
+
+class TestAlgorithm3:
+    def test_round_trip_produces_executable_plan(self, path_query):
+        graph = join_graph(path_query)
+        td = from_elimination_order(graph, ["a", "b", "c", "d"])
+        jet = tree_decomposition_to_jet(path_query, td)
+        assert jet.width <= td.width + 1
+        plan = jet_to_plan(jet)
+        result, _ = evaluate(plan, edge_database())
+        assert result.columns == ("a",)
+        assert result.cardinality == 3
+
+    def test_trivial_decomposition_round_trip(self, path_query):
+        graph = join_graph(path_query)
+        td = trivial_decomposition(graph)
+        jet = tree_decomposition_to_jet(path_query, td)
+        plan = jet_to_plan(jet)
+        result, _ = evaluate(plan, edge_database())
+        assert result.cardinality == 3
+
+
+class TestOptimalJet:
+    def test_path_query_width_two(self, path_query):
+        jet = optimal_jet(path_query)
+        assert jet.width == 2  # treewidth of a path is 1
+
+    def test_single_atom_query(self):
+        query = ConjunctiveQuery(
+            atoms=(Atom("edge", ("a", "b")),), free_variables=("a",)
+        )
+        jet = optimal_jet(query)
+        plan = jet_to_plan(jet)
+        result, _ = evaluate(plan, edge_database())
+        assert result.rows == {(1,), (2,), (3,)}
+
+    def test_boolean_query(self):
+        query = ConjunctiveQuery(
+            atoms=(Atom("edge", ("a", "b")), Atom("edge", ("b", "c")))
+        )
+        jet = optimal_jet(query)
+        plan = jet_to_plan(jet)
+        result, _ = evaluate(plan, edge_database())
+        assert result.columns == ()
+        assert not result.is_empty()

@@ -1,0 +1,104 @@
+"""Mini-bucket elimination: relaxation property and exactness conditions."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.buckets import bucket_elimination_plan
+from repro.core.minibuckets import mini_bucket_plan
+from repro.core.planner import plan_query
+from repro.errors import OrderingError
+from repro.relalg.database import edge_database
+from repro.relalg.engine import evaluate
+from repro.workloads.coloring import coloring_query
+from repro.workloads.graphs import complete_graph, cycle, pentagon, random_graph
+
+
+class TestValidation:
+    def test_ibound_must_be_positive(self):
+        query = coloring_query(pentagon())
+        with pytest.raises(OrderingError):
+            mini_bucket_plan(query, ibound=0)
+
+    def test_order_must_cover_variables(self):
+        query = coloring_query(pentagon())
+        with pytest.raises(OrderingError):
+            mini_bucket_plan(query, ibound=3, order=["v1"])
+
+
+class TestExactness:
+    def test_large_ibound_is_exact(self):
+        query = coloring_query(pentagon())
+        mb = mini_bucket_plan(query, ibound=10)
+        assert mb.exact
+        exact, _ = evaluate(bucket_elimination_plan(query).plan, edge_database())
+        relaxed, _ = evaluate(mb.plan, edge_database())
+        assert relaxed == exact
+
+    def test_small_ibound_splits_buckets(self):
+        query = coloring_query(complete_graph(5))
+        mb = mini_bucket_plan(query, ibound=2)
+        assert not mb.exact
+
+    def test_step_arity_respects_bound(self):
+        query = coloring_query(complete_graph(5))
+        ibound = 3
+        mb = mini_bucket_plan(query, ibound=ibound)
+        # Output arity is bounded by the mini-bucket schema (<= ibound),
+        # possibly minus the eliminated variable.
+        assert mb.max_step_arity <= ibound
+
+
+class TestRelaxation:
+    def test_superset_of_true_answer(self):
+        query = coloring_query(complete_graph(4))  # not 3-colorable
+        exact, _ = evaluate(plan_query(query, "bucket"), edge_database())
+        relaxed, _ = evaluate(
+            mini_bucket_plan(query, ibound=2).plan, edge_database()
+        )
+        assert exact.rows <= relaxed.rows
+
+    def test_nonempty_exact_implies_nonempty_relaxed(self):
+        query = coloring_query(cycle(5))
+        relaxed, _ = evaluate(
+            mini_bucket_plan(query, ibound=2).plan, edge_database()
+        )
+        assert not relaxed.is_empty()
+
+    @given(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_relaxation_property_on_random_instances(self, seed, ibound):
+        rng = random.Random(seed)
+        order = rng.randrange(4, 7)
+        max_edges = order * (order - 1) // 2
+        graph = random_graph(order, rng.randrange(2, max_edges + 1), rng)
+        query = coloring_query(graph)
+        db = edge_database()
+        exact, _ = evaluate(plan_query(query, "bucket"), db)
+        mb = mini_bucket_plan(query, ibound=ibound, rng=random.Random(seed))
+        relaxed, _ = evaluate(mb.plan, db)
+        assert exact.rows <= relaxed.rows
+        if mb.exact:
+            assert relaxed == exact
+
+    @given(st.integers(min_value=0, max_value=100))
+    def test_increasing_ibound_reaches_exactness(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(5, rng.randrange(3, 10), rng)
+        query = coloring_query(graph)
+        mb = mini_bucket_plan(query, ibound=len(query.variables) + 1)
+        assert mb.exact
+
+
+class TestFreeVariables:
+    def test_free_variables_survive(self):
+        query = coloring_query(pentagon(), free_vertices=(0, 2))
+        mb = mini_bucket_plan(query, ibound=2)
+        relaxed, _ = evaluate(mb.plan, edge_database())
+        assert set(relaxed.columns) == set(query.free_variables)
+        exact, _ = evaluate(plan_query(query, "bucket"), edge_database())
+        assert exact.rows <= relaxed.reorder(exact.columns).rows

@@ -1,0 +1,128 @@
+"""The planning facade: all methods, same answers, expected width order."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.planner import METHODS, plan_query
+from repro.errors import PlanError
+from repro.plans import plan_width
+from repro.relalg.database import edge_database
+from repro.relalg.engine import evaluate
+from repro.workloads.coloring import (
+    coloring_query,
+    is_colorable_brute_force,
+)
+from repro.workloads.graphs import pentagon, random_graph
+
+
+def test_unknown_method_rejected(pentagon_instance):
+    with pytest.raises(PlanError, match="unknown planning method"):
+        plan_query(pentagon_instance.query, "magic")
+
+
+def test_methods_tuple_matches_paper_order():
+    assert METHODS == (
+        "straightforward",
+        "early",
+        "reordering",
+        "bucket",
+        "jointree",
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_each_method_executes(pentagon_instance, method):
+    plan = plan_query(pentagon_instance.query, method, rng=random.Random(0))
+    result, _ = evaluate(plan, pentagon_instance.database)
+    assert result.cardinality == 3
+
+
+def test_width_ordering_on_pentagon(pentagon_instance):
+    """The paper's narrative in one assertion: each method is at most as
+    wide as its predecessors on the running example."""
+    widths = {
+        method: plan_width(plan_query(pentagon_instance.query, method))
+        for method in METHODS
+    }
+    assert widths["jointree"] <= widths["bucket"] <= widths["reordering"]
+    assert widths["bucket"] <= widths["early"] <= widths["straightforward"]
+
+
+def test_bucket_explicit_order_honoured(pentagon_instance):
+    from repro.core.join_graph import join_graph
+    from repro.core.treewidth import treewidth_exact_order
+
+    graph = join_graph(pentagon_instance.query)
+    _, order = treewidth_exact_order(
+        graph, pinned_first=frozenset(pentagon_instance.query.free_variables)
+    )
+    plan = plan_query(pentagon_instance.query, "bucket", order=order)
+    result, stats = evaluate(plan, pentagon_instance.database)
+    assert result.cardinality == 3
+    assert stats.max_intermediate_arity <= 3
+
+
+@st.composite
+def color_instances(draw):
+    order = draw(st.integers(min_value=3, max_value=7))
+    max_edges = order * (order - 1) // 2
+    edges = draw(st.integers(min_value=1, max_value=min(max_edges, 11)))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    graph = random_graph(order, edges, random.Random(seed))
+    return graph, coloring_query(graph)
+
+
+@given(color_instances())
+def test_all_methods_agree_with_oracle(pair):
+    """The grand agreement property: every method's answer equals the
+    brute-force 3-colorability oracle on random instances."""
+    graph, query = pair
+    database = edge_database()
+    expected = is_colorable_brute_force(graph)
+    for method in METHODS:
+        plan = plan_query(query, method, rng=random.Random(42))
+        result, _ = evaluate(plan, database)
+        assert (not result.is_empty()) == expected, method
+
+
+@given(color_instances())
+def test_all_methods_same_answer_relation(pair):
+    """Stronger: the full answer relations coincide, not just emptiness."""
+    _, query = pair
+    database = edge_database()
+    reference, _ = evaluate(plan_query(query, "straightforward"), database)
+    for method in METHODS[1:]:
+        result, _ = evaluate(plan_query(query, method, rng=random.Random(1)), database)
+        assert result == reference, method
+
+
+class TestAutoMethod:
+    def test_auto_small_uses_exact_order(self, pentagon_instance):
+        plan = plan_query(pentagon_instance.query, "auto")
+        result, stats = evaluate(plan, pentagon_instance.database)
+        assert result.cardinality == 3
+        # Pentagon treewidth 2 -> optimal arity 3, which auto achieves.
+        assert stats.max_intermediate_arity <= 3
+
+    def test_auto_large_falls_back_to_mcs(self):
+        graph = random_graph(20, 30, random.Random(0))
+        query = coloring_query(graph)
+        plan = plan_query(query, "auto", rng=random.Random(0))
+        result, _ = evaluate(plan, edge_database())
+        reference, _ = evaluate(plan_query(query, "bucket"), edge_database())
+        assert result == reference
+
+    @given(color_instances())
+    def test_auto_agrees_with_oracle(self, pair):
+        graph, query = pair
+        plan = plan_query(query, "auto", rng=random.Random(0))
+        result, _ = evaluate(plan, edge_database())
+        assert (not result.is_empty()) == is_colorable_brute_force(graph)
+
+    def test_auto_never_wider_than_mcs_bucket(self, pentagon_instance):
+        auto_width = plan_width(plan_query(pentagon_instance.query, "auto"))
+        mcs_width = plan_width(plan_query(pentagon_instance.query, "bucket"))
+        assert auto_width <= mcs_width

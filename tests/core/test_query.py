@@ -1,0 +1,127 @@
+"""Conjunctive-query model: atoms, terms, occurrence bookkeeping."""
+
+import pytest
+
+from repro.core.query import Atom, ConjunctiveQuery, Const
+from repro.errors import QueryStructureError
+
+
+@pytest.fixture
+def path_query():
+    return ConjunctiveQuery(
+        atoms=(
+            Atom("edge", ("a", "b")),
+            Atom("edge", ("b", "c")),
+            Atom("edge", ("c", "d")),
+        ),
+        free_variables=("a",),
+    )
+
+
+class TestAtom:
+    def test_variables_first_occurrence_order(self):
+        atom = Atom("r", ("y", "x", "y"))
+        assert atom.variables == ("y", "x")
+        assert atom.variable_set == {"x", "y"}
+
+    def test_constants_excluded_from_variables(self):
+        atom = Atom("r", ("x", Const(3)))
+        assert atom.variables == ("x",)
+
+    def test_to_scan_simple(self):
+        scan = Atom("edge", ("a", "b")).to_scan()
+        assert scan.relation == "edge"
+        assert scan.variables == ("a", "b")
+        assert scan.constants == ()
+
+    def test_to_scan_with_constant(self):
+        scan = Atom("r", ("x", Const(7))).to_scan()
+        assert scan.variables == ("x",)
+        assert scan.constants == ((1, 7),)
+
+    def test_str(self):
+        assert str(Atom("r", ("x", Const(1)))) == "r(x, 1)"
+
+    def test_empty_relation_name_rejected(self):
+        with pytest.raises(QueryStructureError):
+            Atom("", ("x",))
+
+    def test_empty_variable_rejected(self):
+        with pytest.raises(QueryStructureError):
+            Atom("r", ("",))
+
+    def test_bad_term_type_rejected(self):
+        with pytest.raises(QueryStructureError):
+            Atom("r", (42,))  # bare int is neither str nor Const
+
+
+class TestConjunctiveQuery:
+    def test_variables(self, path_query):
+        assert path_query.variables == {"a", "b", "c", "d"}
+
+    def test_boolean_flags(self, path_query):
+        assert not path_query.is_boolean
+        boolean = ConjunctiveQuery(atoms=path_query.atoms)
+        assert boolean.is_boolean
+
+    def test_bound_variables(self, path_query):
+        assert path_query.bound_variables == {"b", "c", "d"}
+
+    def test_no_atoms_rejected(self):
+        with pytest.raises(QueryStructureError):
+            ConjunctiveQuery(atoms=())
+
+    def test_unknown_free_variable_rejected(self):
+        with pytest.raises(QueryStructureError, match="do not occur"):
+            ConjunctiveQuery(
+                atoms=(Atom("r", ("x",)),), free_variables=("ghost",)
+            )
+
+    def test_duplicate_free_variables_rejected(self):
+        with pytest.raises(QueryStructureError, match="duplicate"):
+            ConjunctiveQuery(
+                atoms=(Atom("r", ("x",)),), free_variables=("x", "x")
+            )
+
+
+class TestOccurrences:
+    def test_occurrences(self, path_query):
+        occ = path_query.occurrences()
+        assert occ["b"] == [0, 1]
+        assert occ["d"] == [2]
+
+    def test_min_occurrence(self, path_query):
+        assert path_query.min_occurrence() == {"a": 0, "b": 0, "c": 1, "d": 2}
+
+    def test_max_occurrence_bound_vars(self, path_query):
+        max_occ = path_query.max_occurrence()
+        assert max_occ["b"] == 1
+        assert max_occ["d"] == 2
+
+    def test_max_occurrence_free_vars_stay_live(self, path_query):
+        # Free variables get len(atoms), mirroring max_occur = |E| + 1.
+        assert path_query.max_occurrence()["a"] == 3
+
+
+class TestRewriting:
+    def test_with_atom_order(self, path_query):
+        permuted = path_query.with_atom_order([2, 0, 1])
+        assert permuted.atoms[0].variables == ("c", "d")
+        assert permuted.free_variables == ("a",)
+
+    def test_with_atom_order_rejects_non_permutation(self, path_query):
+        with pytest.raises(QueryStructureError):
+            path_query.with_atom_order([0, 0, 1])
+
+    def test_with_free_variables(self, path_query):
+        rewritten = path_query.with_free_variables(["b", "c"])
+        assert rewritten.free_variables == ("b", "c")
+        assert rewritten.atoms == path_query.atoms
+
+    def test_relation_names(self, path_query):
+        assert path_query.relation_names() == {"edge"}
+
+    def test_str_renders(self, path_query):
+        text = str(path_query)
+        assert "π[a]" in text
+        assert "edge(a, b)" in text

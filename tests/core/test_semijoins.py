@@ -1,0 +1,190 @@
+"""GYO acyclicity, semijoin reduction, and the Yannakakis algorithm."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.planner import plan_query
+from repro.core.query import Atom, ConjunctiveQuery
+from repro.core.semijoins import (
+    gyo_reduction,
+    is_acyclic,
+    semijoin_reduce,
+    yannakakis_evaluate,
+)
+from repro.errors import QueryStructureError
+from repro.relalg.database import Database, edge_database
+from repro.relalg.engine import evaluate
+from repro.relalg.relation import Relation
+from repro.relalg.stats import ExecutionStats
+from repro.workloads.coloring import coloring_query
+from repro.workloads.graphs import (
+    augmented_path,
+    cycle,
+    path,
+    random_graph,
+    star,
+)
+
+
+class TestGyo:
+    def test_path_is_acyclic(self):
+        assert is_acyclic(coloring_query(path(4)))
+
+    def test_star_is_acyclic(self):
+        assert is_acyclic(coloring_query(star(5)))
+
+    def test_augmented_path_is_acyclic(self):
+        assert is_acyclic(coloring_query(augmented_path(4)))
+
+    def test_cycle_is_cyclic(self):
+        assert not is_acyclic(coloring_query(cycle(5)))
+
+    def test_single_atom(self):
+        query = ConjunctiveQuery(atoms=(Atom("r", ("x", "y")),))
+        tree = gyo_reduction(query)
+        assert tree is not None
+        assert tree.root_count == 1
+
+    def test_wide_atom_covering_cycle_is_acyclic(self):
+        # A triangle of binary atoms is cyclic, but adding a ternary atom
+        # covering all three variables makes the hypergraph acyclic.
+        cyclic = ConjunctiveQuery(
+            atoms=(
+                Atom("edge", ("a", "b")),
+                Atom("edge", ("b", "c")),
+                Atom("edge", ("a", "c")),
+            )
+        )
+        assert not is_acyclic(cyclic)
+        covered = ConjunctiveQuery(atoms=cyclic.atoms + (Atom("t", ("a", "b", "c")),))
+        assert is_acyclic(covered)
+
+    def test_join_tree_parent_covers_shared_vars(self):
+        query = coloring_query(augmented_path(5))
+        tree = gyo_reduction(query)
+        assert tree is not None
+        # By construction: the tree has exactly one root per connected
+        # component and every atom appears once in the order.
+        assert sorted(tree.order) == list(range(len(query.atoms)))
+
+    def test_disconnected_acyclic(self):
+        query = ConjunctiveQuery(
+            atoms=(Atom("edge", ("a", "b")), Atom("edge", ("c", "d")))
+        )
+        tree = gyo_reduction(query)
+        assert tree is not None
+        assert tree.root_count == 2
+
+
+class TestSemijoinReduce:
+    def test_cyclic_query_rejected(self):
+        with pytest.raises(QueryStructureError, match="acyclic"):
+            semijoin_reduce(coloring_query(cycle(4)), edge_database())
+
+    def test_paper_claim_semijoins_useless_on_color_queries(self):
+        """Section 2: projecting the edge relation yields all colors, so
+        the full reducer removes nothing on 3-COLOR queries."""
+        query = coloring_query(augmented_path(5))
+        _, removed = semijoin_reduce(query, edge_database())
+        assert not removed
+
+    def test_reduction_removes_dangling_tuples(self):
+        db = Database(
+            {
+                "r": Relation(("a", "b"), [(1, 2), (3, 9)]),  # (3,9) dangles
+                "s": Relation(("b", "c"), [(2, 5)]),
+            }
+        )
+        query = ConjunctiveQuery(
+            atoms=(Atom("r", ("x", "y")), Atom("s", ("y", "z"))),
+            free_variables=("x",),
+        )
+        reduced, removed = semijoin_reduce(query, db)
+        assert removed
+        assert reduced[0].rows == {(1, 2)}
+
+    def test_reduction_is_sound(self):
+        """Reduced relations give the same final answer."""
+        db = Database(
+            {
+                "r": Relation(("a", "b"), [(1, 2), (3, 9), (4, 2)]),
+                "s": Relation(("b", "c"), [(2, 5), (7, 7)]),
+            }
+        )
+        query = ConjunctiveQuery(
+            atoms=(Atom("r", ("x", "y")), Atom("s", ("y", "z"))),
+            free_variables=("x", "z"),
+        )
+        answer = yannakakis_evaluate(query, db)
+        direct, _ = evaluate(plan_query(query, "straightforward"), db)
+        assert answer == direct
+
+
+class TestYannakakis:
+    def test_matches_bucket_on_acyclic_color_queries(self):
+        query = coloring_query(augmented_path(4))
+        db = edge_database()
+        expected, _ = evaluate(plan_query(query, "bucket"), db)
+        assert yannakakis_evaluate(query, db) == expected
+
+    def test_boolean_query(self):
+        query = coloring_query(star(4), emulate_boolean=False)
+        result = yannakakis_evaluate(query, edge_database())
+        assert result.columns == ()
+        assert not result.is_empty()
+
+    def test_empty_answer(self):
+        db = Database(
+            {
+                "r": Relation(("a", "b"), [(1, 2)]),
+                "s": Relation(("b", "c"), [(9, 5)]),
+            }
+        )
+        query = ConjunctiveQuery(
+            atoms=(Atom("r", ("x", "y")), Atom("s", ("y", "z"))),
+            free_variables=("x",),
+        )
+        assert yannakakis_evaluate(query, db).is_empty()
+
+    def test_cyclic_rejected(self):
+        with pytest.raises(QueryStructureError):
+            yannakakis_evaluate(coloring_query(cycle(4)), edge_database())
+
+    def test_disconnected_components_cross_join(self):
+        query = ConjunctiveQuery(
+            atoms=(Atom("edge", ("a", "b")), Atom("edge", ("c", "d"))),
+            free_variables=("a", "c"),
+        )
+        result = yannakakis_evaluate(query, edge_database())
+        assert result.cardinality == 9
+
+    def test_stats_populated(self):
+        stats = ExecutionStats()
+        yannakakis_evaluate(coloring_query(path(3)), edge_database(), stats=stats)
+        assert stats.scans == 3
+        assert stats.joins >= 2
+
+    @given(st.integers(min_value=0, max_value=300))
+    def test_random_forests_agree_with_bucket(self, seed):
+        """Random acyclic (forest) 3-COLOR queries: Yannakakis equals
+        bucket elimination."""
+        rng = random.Random(seed)
+        order = rng.randrange(3, 8)
+        # Random forest: attach each vertex to a random earlier vertex.
+        edges = []
+        for v in range(1, order):
+            if rng.random() < 0.8:
+                edges.append((rng.randrange(v), v))
+        if not edges:
+            return
+        from repro.workloads.graphs import Graph
+
+        graph = Graph(order, tuple(edges))
+        query = coloring_query(graph)
+        assert is_acyclic(query)
+        db = edge_database()
+        expected, _ = evaluate(plan_query(query, "bucket"), db)
+        assert yannakakis_evaluate(query, db) == expected

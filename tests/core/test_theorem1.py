@@ -1,0 +1,161 @@
+"""Theorem 1: the join width of a project-join query is tw(G_Q) + 1.
+
+Both constructive halves are exercised on random small queries:
+
+- Algorithm 3 from an *optimal* tree decomposition yields a JET of width
+  at most tw + 1 (and evaluating it gives the right answer);
+- Algorithm 1 maps any JET back to a tree decomposition of width
+  jet.width - 1, so no JET can beat tw + 1.
+
+Together these pin the join width at exactly tw + 1.
+"""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.join_graph import join_graph
+from repro.core.join_tree import (
+    jet_to_plan,
+    jet_to_tree_decomposition,
+    optimal_jet,
+    tree_decomposition_to_jet,
+)
+from repro.core.query import ConjunctiveQuery
+from repro.core.tree_decomposition import from_elimination_order
+from repro.core.treewidth import treewidth_exact, treewidth_exact_order
+from repro.relalg.engine import evaluate
+from repro.workloads.coloring import (
+    coloring_query,
+    count_colorings_brute_force,
+    is_colorable_brute_force,
+)
+from repro.workloads.graphs import (
+    Graph,
+    augmented_path,
+    cycle,
+    grid,
+    ladder,
+    random_graph,
+    star,
+)
+
+
+@st.composite
+def small_color_queries(draw) -> tuple[Graph, ConjunctiveQuery]:
+    order = draw(st.integers(min_value=3, max_value=7))
+    max_edges = order * (order - 1) // 2
+    edge_count = draw(st.integers(min_value=2, max_value=min(max_edges, 10)))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    graph = random_graph(order, edge_count, random.Random(seed))
+    boolean = draw(st.booleans())
+    if boolean:
+        query = coloring_query(graph)
+    else:
+        touched = sorted({v for e in graph.edges for v in e})
+        free_count = draw(st.integers(min_value=1, max_value=min(3, len(touched))))
+        free = tuple(touched[:free_count])
+        query = coloring_query(graph, free_vertices=free)
+    return graph, query
+
+
+@given(small_color_queries())
+def test_optimal_jet_width_is_treewidth_plus_one(pair):
+    _, query = pair
+    tw = treewidth_exact(join_graph(query))
+    jet = optimal_jet(query)
+    assert jet.width <= tw + 1
+    # Lower bound via Algorithm 1: a narrower JET would give a
+    # decomposition below treewidth, which cannot exist.
+    td = jet_to_tree_decomposition(jet)
+    td.validate_for(join_graph(query))
+    assert td.width >= tw
+    assert jet.width == tw + 1
+
+
+@given(small_color_queries())
+def test_algorithm1_roundtrip_is_valid_decomposition(pair):
+    _, query = pair
+    jet = optimal_jet(query)
+    td = jet_to_tree_decomposition(jet)
+    graph = join_graph(query)
+    td.validate_for(graph)
+    assert td.width == jet.width - 1
+
+
+@given(small_color_queries())
+def test_algorithm3_from_any_order_bounds_width(pair):
+    """From *any* elimination order (not just the optimal one), Algorithm 3
+    produces a JET whose width is at most that order's decomposition width
+    plus one — Lemma 3 in full generality."""
+    _, query = pair
+    graph = join_graph(query)
+    order = sorted(graph.nodes)
+    td = from_elimination_order(graph, order)
+    jet = tree_decomposition_to_jet(query, td)
+    assert jet.width <= td.width + 1
+
+
+@given(small_color_queries())
+def test_optimal_jet_plan_answers_correctly(pair):
+    graph, query = pair
+    plan = jet_to_plan(optimal_jet(query))
+    from repro.relalg.database import edge_database
+
+    result, stats = evaluate(plan, edge_database())
+    assert (not result.is_empty()) == is_colorable_brute_force(graph)
+    # The executed arity never exceeds the proven bound.
+    tw = treewidth_exact(join_graph(query))
+    assert stats.max_intermediate_arity <= tw + 1
+
+
+@pytest.mark.parametrize(
+    "graph,expected_tw",
+    [
+        (cycle(6), 2),
+        (star(6), 1),
+        (ladder(4), 2),
+        (augmented_path(4), 1),
+        (grid(3, 3), 3),
+    ],
+)
+def test_join_width_on_known_families(graph, expected_tw):
+    """Boolean 3-COLOR queries over known families: the join graph is the
+    input graph (binary atoms), so join width = known treewidth + 1."""
+    query = coloring_query(graph, emulate_boolean=False)
+    jet = optimal_jet(query)
+    assert jet.width == expected_tw + 1
+
+
+def test_free_variables_force_wider_trees():
+    """Pinning far-apart path endpoints as free adds a target-schema edge
+    and raises the join width: π_{v1,v5} over a 4-path has join width 3."""
+    graph = Graph(5, ((0, 1), (1, 2), (2, 3), (3, 4)))
+    boolean = coloring_query(graph, emulate_boolean=False)
+    non_boolean = coloring_query(graph, free_vertices=(0, 4))
+    assert optimal_jet(boolean).width == 2
+    assert optimal_jet(non_boolean).width == 3
+
+
+def test_non_boolean_answer_cardinality_correct():
+    """The width-optimal plan computes the exact answer relation, not just
+    nonemptiness: compare against brute-force coloring counts."""
+    graph = cycle(5)
+    query = coloring_query(graph, free_vertices=(0, 1, 2, 3, 4))
+    plan = jet_to_plan(optimal_jet(query))
+    from repro.relalg.database import edge_database
+
+    result, _ = evaluate(plan, edge_database())
+    assert result.cardinality == count_colorings_brute_force(graph)
+
+
+def test_exact_order_pins_free_variables_first():
+    graph = ladder(3)
+    query = coloring_query(graph, free_vertices=(0, 3))
+    join = join_graph(query)
+    _, order = treewidth_exact_order(
+        join, pinned_first=frozenset(query.free_variables)
+    )
+    assert set(order[:2]) == set(query.free_variables)

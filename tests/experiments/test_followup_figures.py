@@ -1,0 +1,41 @@
+"""The Section 7 follow-up experiments: shape assertions at toy sizes."""
+
+import pytest
+
+from repro.experiments.figures import (
+    mediator_chain_scaling,
+    relation_size_scaling,
+)
+
+
+class TestRelationSizeScaling:
+    def test_advantage_widens_with_domain(self):
+        """The headline of the follow-up: bucket elimination's lead over
+        the listed order grows as the relation grows."""
+        series = relation_size_scaling(colors=(3, 4), order=8, seeds=2)
+        ratios = []
+        for k in (3.0, 4.0):
+            straight = series.get("straightforward", k)
+            bucket = series.get("bucket", k)
+            if straight.timed_out or bucket.timed_out:
+                pytest.skip("toy sizes timed out on this machine")
+            ratios.append(straight.median_tuples / max(bucket.median_tuples, 1))
+        assert ratios[1] > ratios[0]
+
+    def test_x_axis_is_color_count(self):
+        series = relation_size_scaling(colors=(3,), order=7, seeds=1)
+        assert series.x_values == [3.0]
+        assert "colors" in series.x_label
+
+
+class TestMediatorScaling:
+    def test_structural_methods_outlast_listed_order(self):
+        series = mediator_chain_scaling(hops=(4, 8), seeds=2)
+        bucket = series.get("bucket", 8.0)
+        assert bucket is not None and not bucket.timed_out
+
+    def test_chain_work_grows_with_hops(self):
+        series = mediator_chain_scaling(hops=(4, 8), seeds=2)
+        small = series.get("bucket", 4.0).median_tuples
+        large = series.get("bucket", 8.0).median_tuples
+        assert large > small

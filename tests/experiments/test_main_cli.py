@@ -1,0 +1,59 @@
+"""The `python -m repro.experiments` command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import _kwargs_for, build_argument_parser, main
+
+
+def test_parser_accepts_all_figures():
+    parser = build_argument_parser()
+    for name in ("fig2", "fig3", "fig9", "sat", "all"):
+        assert parser.parse_args([name]).figure == name
+
+
+def test_parser_rejects_unknown_figure():
+    parser = build_argument_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fig99"])
+
+
+def test_kwargs_routing_orders_only_for_order_figures():
+    parser = build_argument_parser()
+    args = parser.parse_args(["fig4", "--orders", "8", "10"])
+    assert _kwargs_for("fig4", args)["orders"] == [8, 10]
+    assert "orders" not in _kwargs_for("fig3", args)
+
+
+def test_kwargs_routing_densities():
+    parser = build_argument_parser()
+    args = parser.parse_args(["fig3", "--densities", "1.0", "2.0"])
+    assert _kwargs_for("fig3", args)["densities"] == [1.0, 2.0]
+    assert "densities" not in _kwargs_for("fig4", args)
+
+
+def test_kwargs_fig2_ignores_execution_flags():
+    parser = build_argument_parser()
+    args = parser.parse_args(
+        ["fig2", "--budget-seconds", "1", "--free-fraction", "0.2", "--via-sql"]
+    )
+    kwargs = _kwargs_for("fig2", args)
+    assert "budget_seconds" not in kwargs
+    assert "free_fraction" not in kwargs
+    assert "via_sql" not in kwargs
+
+
+def test_main_runs_tiny_figure(capsys):
+    exit_code = main(
+        ["fig3", "--seeds", "1", "--densities", "1.0", "--summary"]
+    )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "fig3_density_boolean" in out
+    assert "winner per" in out
+
+
+def test_main_runs_fig2(capsys):
+    exit_code = main(["fig2", "--seeds", "1", "--densities", "1.0", "2.0"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "fig2_compile" in out

@@ -1,0 +1,66 @@
+"""Report formatting."""
+
+import pytest
+
+from repro.experiments.report import dominance_summary, format_report, format_table
+from repro.experiments.runner import CellResult, Series
+
+
+@pytest.fixture
+def series():
+    s = Series("demo", "order", [1.0, 2.0], ["fast", "slow"])
+    s.add(CellResult("fast", 1.0, 0.01, 100, 2, 3))
+    s.add(CellResult("slow", 1.0, 0.5, 900, 5, 3))
+    s.add(CellResult("fast", 2.0, 0.02, 200, 2, 3))
+    s.add(
+        CellResult(
+            "slow", 2.0, float("inf"), float("inf"), None, 0, timed_out=True
+        )
+    )
+    return s
+
+
+def test_seconds_table(series):
+    text = format_table(series, "seconds")
+    assert "demo" in text
+    assert "0.0100" in text
+    assert "timeout" in text
+
+
+def test_tuples_table(series):
+    text = format_table(series, "tuples")
+    assert "100" in text
+    assert "900" in text
+
+
+def test_width_table(series):
+    text = format_table(series, "width")
+    assert "2" in text
+
+
+def test_missing_cell_rendered_as_dash():
+    s = Series("sparse", "x", [1.0], ["m"])
+    assert "-" in format_table(s, "seconds").splitlines()[-1]
+
+
+def test_unknown_metric_rejected(series):
+    with pytest.raises(ValueError):
+        format_table(series, "bogus")
+
+
+def test_format_report_combines_metrics(series):
+    text = format_report(series)
+    assert "(seconds)" in text
+    assert "(tuples)" in text
+
+
+def test_dominance_summary(series):
+    text = dominance_summary(series)
+    assert "1: fast" in text
+    assert "2: fast" in text
+
+
+def test_dominance_summary_all_timed_out():
+    s = Series("dead", "x", [1.0], ["m"])
+    s.add(CellResult("m", 1.0, float("inf"), float("inf"), None, 0, timed_out=True))
+    assert "all timed out" in dominance_summary(s)

@@ -1,0 +1,113 @@
+"""Experiment runner: both execution paths, aggregation, budgets."""
+
+import random
+
+import pytest
+
+from repro.experiments.runner import (
+    BudgetTracker,
+    CellResult,
+    MethodRun,
+    Series,
+    aggregate_runs,
+    run_method,
+)
+from repro.workloads.coloring import coloring_instance
+from repro.workloads.graphs import pentagon
+
+
+@pytest.fixture
+def instance():
+    return coloring_instance(pentagon())
+
+
+class TestRunMethod:
+    def test_plan_path(self, instance):
+        run = run_method(instance.query, instance.database, "bucket")
+        assert run.method == "bucket"
+        assert run.answer_cardinality == 3
+        assert run.nonempty
+        assert run.plan_width is not None
+        assert run.total_intermediate_tuples > 0
+        assert run.wall_seconds >= 0
+
+    def test_sql_path_same_answer(self, instance):
+        plan_run = run_method(instance.query, instance.database, "bucket")
+        sql_run = run_method(
+            instance.query, instance.database, "bucket", via_sql=True
+        )
+        assert sql_run.answer_cardinality == plan_run.answer_cardinality
+        assert sql_run.plan_width is None  # not tracked through SQL
+
+    @pytest.mark.parametrize(
+        "method", ["straightforward", "early", "reordering", "bucket"]
+    )
+    def test_all_methods_via_both_paths(self, instance, method):
+        rng = random.Random(0)
+        a = run_method(instance.query, instance.database, method, rng=rng)
+        b = run_method(
+            instance.query,
+            instance.database,
+            method,
+            rng=random.Random(0),
+            via_sql=True,
+        )
+        assert a.answer_cardinality == b.answer_cardinality == 3
+
+
+class TestAggregation:
+    def _fake_run(self, seconds, tuples):
+        from repro.relalg.stats import ExecutionStats
+
+        stats = ExecutionStats()
+        stats.record_output(tuples, 2)
+        return MethodRun(
+            method="m",
+            wall_seconds=seconds,
+            generation_seconds=0.0,
+            answer_cardinality=1,
+            nonempty=True,
+            plan_width=3,
+            stats=stats,
+        )
+
+    def test_median(self):
+        runs = [self._fake_run(s, t) for s, t in ((1.0, 10), (5.0, 30), (2.0, 20))]
+        cell = aggregate_runs("m", 4.0, runs)
+        assert cell.median_seconds == 2.0
+        assert cell.median_tuples == 20
+        assert cell.median_width == 3
+        assert cell.runs == 3
+
+    def test_label(self):
+        cell = aggregate_runs("m", 1.0, [self._fake_run(0.5, 5)])
+        assert cell.label() == "0.5000s"
+
+
+class TestSeries:
+    def test_add_get_curve(self):
+        series = Series("s", "x", [1.0, 2.0], ["m"])
+        cell = CellResult("m", 1.0, 0.1, 10, 2, 1)
+        series.add(cell)
+        assert series.get("m", 1.0) is cell
+        assert series.get("m", 2.0) is None
+        assert series.curve("m") == [(1.0, cell)]
+
+
+class TestBudgetTracker:
+    def test_retires_after_budget_exceeded(self):
+        tracker = BudgetTracker(budget_seconds=1.0)
+        assert tracker.active("slow")
+        tracker.observe(CellResult("slow", 1.0, 2.0, 10, 2, 1))
+        assert not tracker.active("slow")
+
+    def test_fast_method_stays_active(self):
+        tracker = BudgetTracker(budget_seconds=1.0)
+        tracker.observe(CellResult("fast", 1.0, 0.2, 10, 2, 1))
+        assert tracker.active("fast")
+
+    def test_timeout_cell(self):
+        tracker = BudgetTracker(1.0)
+        cell = tracker.timeout_cell("slow", 3.0)
+        assert cell.timed_out
+        assert cell.label() == "timeout"

@@ -1,0 +1,87 @@
+"""Catalog behaviour: registration, lookup, convenience constructors."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.relalg.database import Database, database_from_tuples, edge_database
+from repro.relalg.relation import Relation
+
+
+def test_add_and_get():
+    db = Database()
+    rel = Relation(("a",), [(1,)])
+    db.add("r", rel)
+    assert db.get("r") is rel
+    assert db["r"] is rel
+    assert "r" in db
+
+
+def test_double_add_rejected():
+    db = Database()
+    db.add("r", Relation(("a",)))
+    with pytest.raises(CatalogError, match="already registered"):
+        db.add("r", Relation(("a",)))
+
+
+def test_replace_allows_overwrite():
+    db = Database()
+    db.add("r", Relation(("a",), [(1,)]))
+    db.replace("r", Relation(("a",), [(2,)]))
+    assert (2,) in db["r"]
+
+
+def test_empty_name_rejected():
+    db = Database()
+    with pytest.raises(CatalogError):
+        db.add("", Relation(("a",)))
+    with pytest.raises(CatalogError):
+        db.replace("", Relation(("a",)))
+
+
+def test_unknown_lookup_lists_catalog():
+    db = Database({"alpha": Relation(("a",))})
+    with pytest.raises(CatalogError, match="alpha"):
+        db.get("beta")
+
+
+def test_constructor_mapping():
+    db = Database({"r": Relation(("a",), [(1,)])})
+    assert db["r"].cardinality == 1
+
+
+def test_names_sorted_and_len():
+    db = Database({"b": Relation(("x",)), "a": Relation(("y",))})
+    assert db.names() == ["a", "b"]
+    assert len(db) == 2
+
+
+def test_total_tuples():
+    db = Database(
+        {"r": Relation(("a",), [(1,), (2,)]), "s": Relation(("b",), [(1,)])}
+    )
+    assert db.total_tuples() == 3
+
+
+class TestEdgeDatabase:
+    def test_three_colors_gives_six_tuples(self):
+        db = edge_database()
+        edge = db["edge"]
+        assert edge.cardinality == 6
+        assert edge.columns == ("u", "w")
+
+    def test_no_monochromatic_pairs(self):
+        for u, w in edge_database()["edge"].rows:
+            assert u != w
+
+    def test_k_colors(self):
+        db = edge_database(colors=(1, 2, 3, 4))
+        assert db["edge"].cardinality == 12
+
+    def test_custom_relation_name(self):
+        db = edge_database(relation_name="neq")
+        assert "neq" in db
+
+
+def test_database_from_tuples():
+    db = database_from_tuples({"r": (("a", "b"), [(1, 2)])})
+    assert db["r"].columns == ("a", "b")

@@ -1,0 +1,126 @@
+"""Engine evaluation: scans (with repeats and constants), joins,
+projections, statistics accounting, and 0-ary results."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.plans import Join, Project, Scan
+from repro.relalg.database import Database, edge_database
+from repro.relalg.engine import Engine, evaluate, is_nonempty
+from repro.relalg.joins import nested_loop_join, sort_merge_join
+from repro.relalg.relation import Relation
+from repro.relalg.stats import ExecutionStats
+
+
+@pytest.fixture
+def db(edge_db):
+    return edge_db
+
+
+class TestScan:
+    def test_simple_scan_renames(self, db):
+        result = Engine(db).execute(Scan("edge", ("x", "y")))
+        assert result.columns == ("x", "y")
+        assert result.cardinality == 6
+
+    def test_scan_repeated_variable_selects_equal(self, db):
+        # edge(x, x) over the distinct-pairs relation is empty.
+        result = Engine(db).execute(Scan("edge", ("x", "x")))
+        assert result.columns == ("x",)
+        assert result.is_empty()
+
+    def test_scan_repeated_variable_with_matches(self):
+        db = Database({"r": Relation(("a", "b"), [(1, 1), (1, 2)])})
+        result = Engine(db).execute(Scan("r", ("x", "x")))
+        assert result.rows == {(1,)}
+
+    def test_scan_constant(self, db):
+        result = Engine(db).execute(Scan("edge", ("y",), constants=((0, 1),)))
+        assert result.columns == ("y",)
+        assert result.rows == {(2,), (3,)}
+
+    def test_scan_constant_last_position(self, db):
+        result = Engine(db).execute(Scan("edge", ("x",), constants=((1, 3),)))
+        assert result.rows == {(1,), (2,)}
+
+    def test_scan_arity_mismatch(self, db):
+        with pytest.raises(SchemaError, match="arity"):
+            Engine(db).execute(Scan("edge", ("x", "y", "z")))
+
+    def test_scan_variable_named_like_base_column(self, db):
+        # Variable named "u" must not collide with base column "u".
+        result = Engine(db).execute(Scan("edge", ("w", "u")))
+        assert result.columns == ("w", "u")
+        assert result.cardinality == 6
+
+
+class TestJoinProject:
+    def test_path_query(self, db):
+        plan = Project(
+            Join(Scan("edge", ("a", "b")), Scan("edge", ("b", "c"))), ("a", "c")
+        )
+        result = Engine(db).execute(plan)
+        # Paths of length 2 in the color graph: all pairs including (x, x).
+        assert result.cardinality == 9
+
+    def test_triangle_query_nonempty(self, db):
+        plan = Join(
+            Join(Scan("edge", ("a", "b")), Scan("edge", ("b", "c"))),
+            Scan("edge", ("a", "c")),
+        )
+        assert is_nonempty(plan, db)
+
+    def test_boolean_projection(self, db):
+        plan = Project(Scan("edge", ("a", "b")), ())
+        result = Engine(db).execute(plan)
+        assert result.columns == ()
+        assert result.rows == {()}
+
+    def test_boolean_projection_empty(self):
+        db = Database({"r": Relation(("a",), [])})
+        result = Engine(db).execute(Project(Scan("r", ("x",)), ()))
+        assert result.is_empty()
+
+
+class TestStats:
+    def test_counts(self, db):
+        plan = Project(
+            Join(Scan("edge", ("a", "b")), Scan("edge", ("b", "c"))), ("a",)
+        )
+        _, stats = Engine(db).execute_with_stats(plan)
+        assert stats.scans == 2
+        assert stats.joins == 1
+        assert stats.projections == 1
+        assert stats.max_intermediate_arity == 3
+        # 6 + 6 (scans) + 12 (join: per shared b, 2 left x 2 right rows,
+        # times 3 values of b) + 3 (projection)
+        assert stats.total_intermediate_tuples == 6 + 6 + 12 + 3
+
+    def test_stats_accumulate_across_calls(self, db):
+        stats = ExecutionStats()
+        engine = Engine(db)
+        engine.execute(Scan("edge", ("a", "b")), stats=stats)
+        engine.execute(Scan("edge", ("c", "d")), stats=stats)
+        assert stats.scans == 2
+
+    def test_arity_trace_records_each_output(self, db):
+        plan = Join(Scan("edge", ("a", "b")), Scan("edge", ("b", "c")))
+        _, stats = Engine(db).execute_with_stats(plan)
+        assert stats.arity_trace == [2, 2, 3]
+
+
+class TestJoinAlgorithmPlumbing:
+    @pytest.mark.parametrize("algorithm", [sort_merge_join, nested_loop_join])
+    def test_alternate_algorithms_same_answer(self, db, algorithm):
+        plan = Project(
+            Join(Scan("edge", ("a", "b")), Scan("edge", ("b", "c"))), ("a", "c")
+        )
+        baseline = Engine(db).execute(plan)
+        other = Engine(db, join_algorithm=algorithm).execute(plan)
+        assert baseline == other
+
+
+def test_evaluate_helper(db):
+    result, stats = evaluate(Scan("edge", ("a", "b")), db)
+    assert result.cardinality == 6
+    assert stats.scans == 1

@@ -1,0 +1,118 @@
+"""CSV/TSV catalog persistence."""
+
+import pytest
+
+from repro.errors import CatalogError, SchemaError
+from repro.relalg.database import Database, edge_database
+from repro.relalg.io import (
+    load_database,
+    load_relation,
+    save_database,
+    save_relation,
+)
+from repro.relalg.relation import Relation
+
+
+@pytest.fixture
+def relation():
+    return Relation(("city", "population"), [("Austin", 979), ("Waco", 139)])
+
+
+class TestRelationRoundTrip:
+    def test_csv_round_trip(self, relation, tmp_path):
+        path = tmp_path / "cities.csv"
+        save_relation(relation, path)
+        assert load_relation(path) == relation
+
+    def test_tsv_round_trip(self, relation, tmp_path):
+        path = tmp_path / "cities.tsv"
+        save_relation(relation, path, delimiter="\t")
+        assert load_relation(path, delimiter="\t") == relation
+
+    def test_integers_parsed(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("a,b\n1,-2\n")
+        loaded = load_relation(path)
+        assert (1, -2) in loaded
+
+    def test_strings_preserved(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("a\nhello\n007x\n")
+        loaded = load_relation(path)
+        assert ("hello",) in loaded
+        assert ("007x",) in loaded  # not a pure integer -> stays a string
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("a,b\n1,2\n\n3,4\n")
+        assert load_relation(path).cardinality == 2
+
+    def test_duplicates_collapse(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("a\n1\n1\n")
+        assert load_relation(path).cardinality == 1
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="header"):
+            load_relation(path)
+
+    def test_ragged_row_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(SchemaError, match=":3"):
+            load_relation(path)
+
+    def test_save_is_deterministic(self, relation, tmp_path):
+        first = tmp_path / "a.csv"
+        second = tmp_path / "b.csv"
+        save_relation(relation, first)
+        save_relation(relation, second)
+        assert first.read_text() == second.read_text()
+
+
+class TestDatabaseRoundTrip:
+    def test_round_trip(self, tmp_path):
+        database = edge_database()
+        save_database(database, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        assert loaded.names() == ["edge"]
+        assert loaded["edge"] == database["edge"]
+
+    def test_multiple_relations(self, tmp_path):
+        database = Database(
+            {
+                "r": Relation(("a",), [(1,)]),
+                "s": Relation(("b", "c"), [(2, 3)]),
+            }
+        )
+        save_database(database, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        assert loaded.names() == ["r", "s"]
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(CatalogError, match="not a directory"):
+            load_database(tmp_path / "nope")
+
+    def test_empty_directory_rejected(self, tmp_path):
+        (tmp_path / "db").mkdir()
+        with pytest.raises(CatalogError, match="no .csv"):
+            load_database(tmp_path / "db")
+
+    def test_tsv_database(self, tmp_path):
+        database = edge_database()
+        save_database(database, tmp_path / "db", delimiter="\t")
+        loaded = load_database(tmp_path / "db", delimiter="\t")
+        assert loaded["edge"].cardinality == 6
+
+    def test_loaded_database_queryable(self, tmp_path):
+        from repro.core.planner import plan_query
+        from repro.datalog import parse_rule
+        from repro.relalg.engine import evaluate
+
+        save_database(edge_database(), tmp_path / "db")
+        database = load_database(tmp_path / "db")
+        query = parse_rule("q(X) :- edge(X, Y), edge(Y, Z).")
+        result, _ = evaluate(plan_query(query, "bucket"), database)
+        assert result.cardinality == 3

@@ -1,0 +1,94 @@
+"""The three join algorithms must be interchangeable."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relalg.joins import (
+    JOIN_ALGORITHMS,
+    get_join_algorithm,
+    hash_join,
+    nested_loop_join,
+    sort_merge_join,
+)
+from repro.relalg.relation import Relation
+
+ALGORITHMS = [hash_join, sort_merge_join, nested_loop_join]
+
+
+@pytest.fixture
+def left():
+    return Relation(("a", "b"), [(1, 2), (2, 3), (3, 3), (4, 1)])
+
+
+@pytest.fixture
+def right():
+    return Relation(("b", "c"), [(2, 10), (3, 11), (3, 12), (9, 13)])
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_shared_column_join(algorithm, left, right):
+    result = algorithm(left, right)
+    assert result.columns == ("a", "b", "c")
+    assert result.rows == {
+        (1, 2, 10),
+        (2, 3, 11),
+        (2, 3, 12),
+        (3, 3, 11),
+        (3, 3, 12),
+    }
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_cross_product_fallback(algorithm):
+    left = Relation(("a",), [(1,), (2,)])
+    right = Relation(("b",), [(5,), (6,)])
+    assert algorithm(left, right).cardinality == 4
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_empty_input(algorithm, left):
+    empty = Relation(("b", "c"))
+    assert algorithm(left, empty).is_empty()
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_duplicate_keys_produce_all_pairs(algorithm):
+    left = Relation(("k", "x"), [(1, "a"), (1, "b")])
+    right = Relation(("k", "y"), [(1, "p"), (1, "q")])
+    assert algorithm(left, right).cardinality == 4
+
+
+def test_registry_contains_all():
+    assert set(JOIN_ALGORITHMS) == {"hash", "sort_merge", "nested_loop"}
+
+
+def test_get_join_algorithm():
+    assert get_join_algorithm("hash") is hash_join
+
+
+def test_get_join_algorithm_unknown():
+    with pytest.raises(KeyError, match="nested_loop"):
+        get_join_algorithm("bogus")
+
+
+VALUES = st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def joinable_pair(draw):
+    left_rows = draw(st.lists(st.tuples(VALUES, VALUES), max_size=10))
+    right_rows = draw(st.lists(st.tuples(VALUES, VALUES), max_size=10))
+    return (
+        Relation(("a", "b"), left_rows),
+        Relation(("b", "c"), right_rows),
+    )
+
+
+@given(joinable_pair())
+def test_all_algorithms_agree(pair):
+    left, right = pair
+    reference = hash_join(left, right)
+    assert sort_merge_join(left, right) == reference
+    assert nested_loop_join(left, right) == reference
+    assert left.natural_join(right) == reference

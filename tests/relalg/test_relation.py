@@ -1,0 +1,282 @@
+"""Unit tests for the Relation container and its algebra."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relalg.relation import Relation
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Relation(("a", "b"), [(1, 2), (3, 4)])
+        assert r.columns == ("a", "b")
+        assert r.arity == 2
+        assert r.cardinality == 2
+
+    def test_duplicates_collapse(self):
+        r = Relation(("a",), [(1,), (1,), (2,)])
+        assert r.cardinality == 2
+
+    def test_empty_relation(self):
+        r = Relation(("a", "b"))
+        assert r.is_empty()
+        assert r.cardinality == 0
+
+    def test_zero_ary_relation(self):
+        """0-ary relations represent Boolean results: {()} is true, {} false."""
+        true_rel = Relation((), [()])
+        false_rel = Relation((), [])
+        assert true_rel.cardinality == 1
+        assert false_rel.is_empty()
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(("a", "a"), [])
+
+    def test_empty_column_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(("a", ""), [])
+
+    def test_non_string_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(("a", 3), [])
+
+    def test_wrong_arity_row_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(("a", "b"), [(1, 2, 3)])
+
+    def test_rows_are_frozen(self):
+        r = Relation(("a",), [(1,)])
+        with pytest.raises(AttributeError):
+            r.rows.add((2,))  # type: ignore[attr-defined]
+
+    def test_from_dicts(self):
+        r = Relation.from_dicts(("a", "b"), [{"a": 1, "b": 2}, {"b": 4, "a": 3}])
+        assert (3, 4) in r
+
+    def test_from_dicts_missing_key(self):
+        with pytest.raises(SchemaError):
+            Relation.from_dicts(("a", "b"), [{"a": 1}])
+
+
+class TestAccessors:
+    def test_contains(self, small_relation):
+        assert (1, 2) in small_relation
+        assert (9, 9) not in small_relation
+
+    def test_iteration_and_len(self, small_relation):
+        assert len(small_relation) == 3
+        assert set(small_relation) == small_relation.rows
+
+    def test_column_index(self, small_relation):
+        assert small_relation.column_index("w") == 1
+
+    def test_column_index_unknown(self, small_relation):
+        with pytest.raises(SchemaError, match="unknown column"):
+            small_relation.column_index("zzz")
+
+    def test_to_dicts_is_sorted_and_complete(self, small_relation):
+        dicts = small_relation.to_dicts()
+        assert len(dicts) == 3
+        assert all(set(d) == {"u", "w"} for d in dicts)
+
+    def test_pretty_truncates(self):
+        r = Relation(("a",), [(i,) for i in range(50)])
+        text = r.pretty(max_rows=5)
+        assert "50 rows total" in text
+
+
+class TestEquality:
+    def test_equal_same_order(self):
+        assert Relation(("a", "b"), [(1, 2)]) == Relation(("a", "b"), [(1, 2)])
+
+    def test_equal_reordered_columns(self):
+        left = Relation(("a", "b"), [(1, 2)])
+        right = Relation(("b", "a"), [(2, 1)])
+        assert left == right
+
+    def test_unequal_rows(self):
+        assert Relation(("a",), [(1,)]) != Relation(("a",), [(2,)])
+
+    def test_unequal_schema(self):
+        assert Relation(("a",), [(1,)]) != Relation(("b",), [(1,)])
+
+    def test_not_equal_to_other_types(self):
+        assert Relation(("a",), [(1,)]) != "not a relation"
+
+
+class TestProjection:
+    def test_project_subset(self, small_relation):
+        p = small_relation.project(["u"])
+        assert p.columns == ("u",)
+        assert p.rows == {(1,), (2,)}
+
+    def test_project_reorders(self, small_relation):
+        p = small_relation.project(["w", "u"])
+        assert p.columns == ("w", "u")
+        assert (2, 1) in p
+
+    def test_project_unknown_column(self, small_relation):
+        with pytest.raises(SchemaError):
+            small_relation.project(["nope"])
+
+    def test_project_to_zero_columns(self, small_relation):
+        p = small_relation.project([])
+        assert p.columns == ()
+        assert p.rows == {()}
+
+    def test_project_empty_relation_to_zero_columns(self):
+        p = Relation(("a",), []).project([])
+        assert p.is_empty()
+
+    def test_project_out(self, small_relation):
+        p = small_relation.project_out(["w"])
+        assert p.columns == ("u",)
+
+    def test_project_out_unknown(self, small_relation):
+        with pytest.raises(SchemaError):
+            small_relation.project_out(["nope"])
+
+
+class TestRenameReorder:
+    def test_rename(self, small_relation):
+        r = small_relation.rename({"u": "x"})
+        assert r.columns == ("x", "w")
+        assert (1, 2) in r
+
+    def test_rename_unknown(self, small_relation):
+        with pytest.raises(SchemaError):
+            small_relation.rename({"nope": "x"})
+
+    def test_rename_collision_rejected(self, small_relation):
+        with pytest.raises(SchemaError):
+            small_relation.rename({"u": "w"})
+
+    def test_reorder(self, small_relation):
+        r = small_relation.reorder(("w", "u"))
+        assert r.columns == ("w", "u")
+        assert (2, 1) in r
+        assert r == small_relation
+
+    def test_reorder_not_permutation(self, small_relation):
+        with pytest.raises(SchemaError):
+            small_relation.reorder(("u",))
+
+
+class TestSelection:
+    def test_select_predicate(self, small_relation):
+        s = small_relation.select(lambda row: row["u"] == 1)
+        assert s.rows == {(1, 2), (1, 3)}
+
+    def test_select_eq(self, small_relation):
+        assert small_relation.select_eq("w", 1).rows == {(2, 1)}
+
+    def test_select_eq_unknown_column(self, small_relation):
+        with pytest.raises(SchemaError):
+            small_relation.select_eq("x", 1)
+
+    def test_select_col_eq(self):
+        r = Relation(("a", "b"), [(1, 1), (1, 2)])
+        assert r.select_col_eq("a", "b").rows == {(1, 1)}
+
+
+class TestJoins:
+    def test_natural_join_shared_column(self):
+        left = Relation(("a", "b"), [(1, 2), (2, 3)])
+        right = Relation(("b", "c"), [(2, 9), (3, 8)])
+        joined = left.natural_join(right)
+        assert joined.columns == ("a", "b", "c")
+        assert joined.rows == {(1, 2, 9), (2, 3, 8)}
+
+    def test_natural_join_no_shared_is_cross(self):
+        left = Relation(("a",), [(1,), (2,)])
+        right = Relation(("b",), [(3,)])
+        joined = left.natural_join(right)
+        assert joined.cardinality == 2
+
+    def test_natural_join_multiple_shared(self):
+        left = Relation(("a", "b"), [(1, 2), (1, 3)])
+        right = Relation(("a", "b", "c"), [(1, 2, 7)])
+        joined = left.natural_join(right)
+        assert joined.rows == {(1, 2, 7)}
+
+    def test_join_with_empty_is_empty(self):
+        left = Relation(("a", "b"), [(1, 2)])
+        right = Relation(("b", "c"))
+        assert left.natural_join(right).is_empty()
+
+    def test_join_zero_ary_true_is_identity(self):
+        rel = Relation(("a",), [(1,)])
+        truth = Relation((), [()])
+        assert rel.natural_join(truth) == rel
+
+    def test_join_zero_ary_false_annihilates(self):
+        rel = Relation(("a",), [(1,)])
+        falsity = Relation((), [])
+        assert rel.natural_join(falsity).is_empty()
+
+    def test_cross_requires_disjoint(self):
+        r = Relation(("a",), [(1,)])
+        with pytest.raises(SchemaError):
+            r.cross(r)
+
+    def test_cross(self):
+        left = Relation(("a",), [(1,), (2,)])
+        right = Relation(("b",), [(3,), (4,)])
+        assert left.cross(right).cardinality == 4
+
+
+class TestSemijoins:
+    def test_semijoin(self):
+        left = Relation(("a", "b"), [(1, 2), (2, 5)])
+        right = Relation(("b",), [(2,)])
+        assert left.semijoin(right).rows == {(1, 2)}
+
+    def test_semijoin_no_shared_nonempty_right(self):
+        left = Relation(("a",), [(1,)])
+        right = Relation(("b",), [(9,)])
+        assert left.semijoin(right) == left
+
+    def test_semijoin_no_shared_empty_right(self):
+        left = Relation(("a",), [(1,)])
+        right = Relation(("b",))
+        assert left.semijoin(right).is_empty()
+
+    def test_antijoin(self):
+        left = Relation(("a", "b"), [(1, 2), (2, 5)])
+        right = Relation(("b",), [(2,)])
+        assert left.antijoin(right).rows == {(2, 5)}
+
+    def test_semijoin_antijoin_partition(self):
+        left = Relation(("a", "b"), [(1, 2), (2, 5), (3, 2)])
+        right = Relation(("b",), [(2,)])
+        semi = left.semijoin(right)
+        anti = left.antijoin(right)
+        assert semi.rows | anti.rows == left.rows
+        assert semi.rows & anti.rows == frozenset()
+
+
+class TestSetOperations:
+    def test_union(self):
+        left = Relation(("a",), [(1,)])
+        right = Relation(("a",), [(2,)])
+        assert left.union(right).cardinality == 2
+
+    def test_union_aligns_columns(self):
+        left = Relation(("a", "b"), [(1, 2)])
+        right = Relation(("b", "a"), [(4, 3)])
+        assert left.union(right).rows == {(1, 2), (3, 4)}
+
+    def test_difference(self):
+        left = Relation(("a",), [(1,), (2,)])
+        right = Relation(("a",), [(2,)])
+        assert left.difference(right).rows == {(1,)}
+
+    def test_intersection(self):
+        left = Relation(("a",), [(1,), (2,)])
+        right = Relation(("a",), [(2,), (3,)])
+        assert left.intersection(right).rows == {(2,)}
+
+    def test_union_schema_mismatch(self):
+        with pytest.raises(SchemaError):
+            Relation(("a",), [(1,)]).union(Relation(("b",), [(1,)]))

@@ -1,0 +1,57 @@
+"""ExecutionStats accounting semantics."""
+
+from repro.relalg.stats import ExecutionStats
+
+
+def test_record_output_tracks_maxima():
+    stats = ExecutionStats()
+    stats.record_output(10, 3)
+    stats.record_output(5, 7)
+    assert stats.total_intermediate_tuples == 15
+    assert stats.max_intermediate_cardinality == 10
+    assert stats.max_intermediate_arity == 7
+    assert stats.arity_trace == [3, 7]
+
+
+def test_record_join_updates_peak():
+    stats = ExecutionStats()
+    stats.record_join(10, 20, 5)
+    stats.record_join(1, 1, 1)
+    assert stats.joins == 2
+    assert stats.peak_live_tuples == 35
+
+
+def test_merge_combines_sums_and_maxima():
+    a = ExecutionStats()
+    a.record_output(10, 2)
+    a.joins = 1
+    b = ExecutionStats()
+    b.record_output(4, 5)
+    b.scans = 3
+    a.merge(b)
+    assert a.total_intermediate_tuples == 14
+    assert a.max_intermediate_arity == 5
+    assert a.joins == 1
+    assert a.scans == 3
+    assert a.arity_trace == [2, 5]
+
+
+def test_summary_is_plain_ints():
+    stats = ExecutionStats()
+    stats.record_output(3, 1)
+    summary = stats.summary()
+    assert summary["total_intermediate_tuples"] == 3
+    assert set(summary) == {
+        "joins",
+        "projections",
+        "scans",
+        "total_intermediate_tuples",
+        "max_intermediate_cardinality",
+        "max_intermediate_arity",
+        "peak_live_tuples",
+    }
+
+
+def test_fresh_stats_are_zero():
+    stats = ExecutionStats()
+    assert stats.summary() == {key: 0 for key in stats.summary()}

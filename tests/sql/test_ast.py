@@ -1,0 +1,120 @@
+"""AST rendering and introspection helpers."""
+
+from repro.sql.ast import (
+    ColumnRef,
+    Condition,
+    Equality,
+    JoinExpr,
+    Literal,
+    SelectQuery,
+    SubqueryRef,
+    TableRef,
+    iter_subqueries,
+    render,
+    subquery_depth,
+)
+
+
+def simple_query():
+    return SelectQuery(
+        select=(ColumnRef("e1", "a"),),
+        from_items=(TableRef("r", "e1", ("a", "b")),),
+    )
+
+
+def test_column_ref_str():
+    assert str(ColumnRef("e1", "v2")) == "e1.v2"
+
+
+def test_literal_int_str():
+    assert str(Literal(42)) == "42"
+
+
+def test_literal_string_escapes_quotes():
+    assert str(Literal("it's")) == "'it''s'"
+
+
+def test_condition_true():
+    assert str(Condition()) == "TRUE"
+    assert Condition().is_true
+
+
+def test_condition_conjunction():
+    cond = Condition(
+        (
+            Equality(ColumnRef("a", "x"), ColumnRef("b", "x")),
+            Equality(ColumnRef("a", "y"), Literal(1)),
+        )
+    )
+    assert str(cond) == "a.x = b.x AND a.y = 1"
+
+
+def test_table_ref_str():
+    assert str(TableRef("edge", "e1", ("v1", "v2"))) == "edge e1 (v1, v2)"
+
+
+def test_output_columns():
+    query = SelectQuery(
+        select=(ColumnRef("e1", "a"), ColumnRef("t2", "b")),
+        from_items=(TableRef("r", "e1", ("a", "b")),),
+    )
+    assert query.output_columns == ("a", "b")
+
+
+def test_render_simple():
+    text = render(simple_query())
+    assert text == "SELECT DISTINCT e1.a\nFROM r e1 (a, b);"
+
+
+def test_render_without_distinct_or_semicolon():
+    query = SelectQuery(
+        select=(ColumnRef("e1", "a"),),
+        from_items=(TableRef("r", "e1", ("a", "b")),),
+        distinct=False,
+    )
+    text = render(query, semicolon=False)
+    assert text.startswith("SELECT e1.a")
+    assert not text.endswith(";")
+
+
+def test_render_where():
+    query = SelectQuery(
+        select=(ColumnRef("e1", "a"),),
+        from_items=(TableRef("r", "e1", ("a", "b")),),
+        where=Condition((Equality(ColumnRef("e1", "b"), Literal(3)),)),
+    )
+    assert "WHERE e1.b = 3" in render(query)
+
+
+def nested_query():
+    inner = simple_query()
+    return SelectQuery(
+        select=(ColumnRef("t1", "a"),),
+        from_items=(
+            JoinExpr(
+                left=SubqueryRef(inner, "t1"),
+                right=TableRef("s", "e2", ("a", "c")),
+                condition=Condition(
+                    (Equality(ColumnRef("e2", "a"), ColumnRef("t1", "a")),)
+                ),
+            ),
+        ),
+    )
+
+
+def test_render_nested_indents_subquery():
+    text = render(nested_query())
+    assert "(\n   SELECT DISTINCT e1.a" in text
+    assert ") AS t1" in text
+
+
+def test_iter_subqueries_outermost_first():
+    query = nested_query()
+    found = list(iter_subqueries(query))
+    assert found[0] is query
+    assert len(found) == 2
+
+
+def test_subquery_depth():
+    assert subquery_depth(simple_query()) == 1
+    assert subquery_depth(nested_query()) == 2

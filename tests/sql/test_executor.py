@@ -1,0 +1,164 @@
+"""SQL executor: hand-written queries over small catalogs."""
+
+import pytest
+
+from repro.errors import SqlSemanticError
+from repro.relalg.database import Database, edge_database
+from repro.relalg.relation import Relation
+from repro.sql.executor import execute, execute_with_stats
+from repro.sql.parser import parse
+
+
+@pytest.fixture
+def db():
+    return edge_database()
+
+
+class TestTableScan:
+    def test_simple_select(self, db):
+        result = execute(parse("SELECT DISTINCT e1.a FROM edge e1 (a,b);"), db)
+        assert result.columns == ("a",)
+        assert result.rows == {(1,), (2,), (3,)}
+
+    def test_arity_mismatch(self, db):
+        with pytest.raises(SqlSemanticError, match="arity"):
+            execute(parse("SELECT DISTINCT e1.a FROM edge e1 (a,b,c);"), db)
+
+    def test_unknown_select_column(self, db):
+        with pytest.raises(SqlSemanticError, match="unknown column"):
+            execute(parse("SELECT DISTINCT e1.z FROM edge e1 (a,b);"), db)
+
+    def test_unknown_relation(self, db):
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            execute(parse("SELECT DISTINCT e1.a FROM ghost e1 (a,b);"), db)
+
+
+class TestWhereFolding:
+    def test_comma_from_with_equalities(self, db):
+        sql = (
+            "SELECT DISTINCT e1.a FROM edge e1 (a,b), edge e2 (b2,c) "
+            "WHERE e2.b2 = e1.b;"
+        )
+        result = execute(parse(sql), db)
+        assert result.rows == {(1,), (2,), (3,)}
+
+    def test_literal_filter(self, db):
+        sql = "SELECT DISTINCT e1.b FROM edge e1 (a,b) WHERE e1.a = 1;"
+        result = execute(parse(sql), db)
+        assert result.rows == {(2,), (3,)}
+
+    def test_dangling_where_column_rejected(self, db):
+        sql = "SELECT DISTINCT e1.a FROM edge e1 (a,b) WHERE e9.x = e1.a;"
+        with pytest.raises(SqlSemanticError, match="unknown columns"):
+            execute(parse(sql), db)
+
+    def test_from_order_reorders_execution(self, db):
+        sql = (
+            "SELECT DISTINCT e1.a FROM edge e1 (a,b), edge e2 (b2,c) "
+            "WHERE e2.b2 = e1.b;"
+        )
+        default = execute(parse(sql), db)
+        reordered = execute(parse(sql), db, from_order=[1, 0])
+        assert default == reordered
+
+    def test_bad_from_order_rejected(self, db):
+        sql = "SELECT DISTINCT e1.a FROM edge e1 (a,b), edge e2 (c,d);"
+        with pytest.raises(SqlSemanticError, match="permutation"):
+            execute(parse(sql), db, from_order=[0, 0])
+
+
+class TestJoins:
+    def test_explicit_join(self, db):
+        sql = (
+            "SELECT DISTINCT e1.a FROM edge e1 (a,b) "
+            "JOIN edge e2 (b2,c) ON ( e1.b = e2.b2 );"
+        )
+        assert execute(parse(sql), db).cardinality == 3
+
+    def test_join_on_true_is_cross(self, db):
+        sql = (
+            "SELECT DISTINCT e1.a, e2.c FROM edge e1 (a,b) "
+            "JOIN edge e2 (c,d) ON (TRUE);"
+        )
+        assert execute(parse(sql), db).cardinality == 9
+
+    def test_same_side_condition_is_filter(self, db):
+        # Condition between two columns of the same operand.
+        sql = (
+            "SELECT DISTINCT e1.a FROM edge e1 (a,b) "
+            "JOIN edge e2 (c,d) ON ( e2.c = e2.d );"
+        )
+        assert execute(parse(sql), db).is_empty()
+
+    def test_literal_in_on(self, db):
+        sql = (
+            "SELECT DISTINCT e2.c FROM edge e1 (a,b) "
+            "JOIN edge e2 (c,d) ON ( e2.d = 3 AND e2.c = e1.a );"
+        )
+        assert execute(parse(sql), db).rows == {(1,), (2,)}
+
+    def test_unknown_on_column_rejected(self, db):
+        sql = (
+            "SELECT DISTINCT e1.a FROM edge e1 (a,b) "
+            "JOIN edge e2 (c,d) ON ( e9.z = e1.a );"
+        )
+        with pytest.raises(SqlSemanticError):
+            execute(parse(sql), db)
+
+    def test_duplicate_alias_rejected(self, db):
+        sql = (
+            "SELECT DISTINCT e1.a FROM edge e1 (a,b) "
+            "JOIN edge e1 (c,d) ON (TRUE);"
+        )
+        with pytest.raises(SqlSemanticError, match="duplicate aliases"):
+            execute(parse(sql), db)
+
+
+class TestSubqueries:
+    def test_subquery_scope(self, db):
+        sql = (
+            "SELECT DISTINCT t1.a FROM ("
+            "SELECT DISTINCT e1.a, e1.b FROM edge e1 (a,b)"
+            ") AS t1 JOIN edge e2 (b2,c) ON ( t1.b = e2.b2 );"
+        )
+        assert execute(parse(sql), db).cardinality == 3
+
+    def test_inner_alias_not_visible_outside(self, db):
+        sql = (
+            "SELECT DISTINCT e1.a FROM ("
+            "SELECT DISTINCT e1.a FROM edge e1 (a,b)"
+            ") AS t1;"
+        )
+        with pytest.raises(SqlSemanticError, match="unknown column"):
+            execute(parse(sql), db)
+
+    def test_subquery_distinct_collapses(self):
+        db = Database({"r": Relation(("a", "b"), [(1, 1), (1, 2)])})
+        sql = (
+            "SELECT DISTINCT t1.a FROM ("
+            "SELECT DISTINCT e1.a FROM r e1 (a,b)"
+            ") AS t1;"
+        )
+        result, stats = execute_with_stats(parse(sql), db)
+        assert result.rows == {(1,)}
+
+    def test_ambiguous_output_names_rejected(self, db):
+        sql = "SELECT DISTINCT e1.a, e2.a FROM edge e1 (a,b), edge e2 (a,c);"
+        with pytest.raises(SqlSemanticError, match="ambiguous"):
+            execute(parse(sql), db)
+
+
+class TestStats:
+    def test_stats_counted_across_subqueries(self, db):
+        sql = (
+            "SELECT DISTINCT t1.a FROM ("
+            "SELECT DISTINCT e1.a, e1.b FROM edge e1 (a,b)"
+            ") AS t1 JOIN edge e2 (b2,c) ON ( t1.b = e2.b2 );"
+        )
+        _, stats = execute_with_stats(parse(sql), db)
+        assert stats.scans == 2
+        assert stats.joins == 1
+        assert stats.projections == 2
+        assert stats.total_intermediate_tuples > 0

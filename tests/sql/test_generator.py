@@ -1,0 +1,171 @@
+"""SQL generation: structure of each method's output and end-to-end
+round-trip equivalence with direct plan execution."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.planner import plan_query
+from repro.core.query import Atom, ConjunctiveQuery, Const
+from repro.errors import SqlSemanticError
+from repro.relalg.database import Database, edge_database
+from repro.relalg.engine import evaluate
+from repro.relalg.relation import Relation
+from repro.sql.ast import SubqueryRef, TableRef, iter_subqueries, render, subquery_depth
+from repro.sql.executor import execute
+from repro.sql.generator import (
+    SQL_METHODS,
+    bucket_elimination_sql,
+    early_projection_sql,
+    generate_sql,
+    naive_sql,
+    plan_to_sql,
+    straightforward_sql,
+)
+from repro.sql.parser import parse
+from repro.workloads.coloring import coloring_query
+from repro.workloads.graphs import pentagon, random_graph
+
+
+@pytest.fixture
+def pentagon_query():
+    return coloring_query(pentagon())
+
+
+class TestNaive:
+    def test_flat_from_list(self, pentagon_query):
+        ast = naive_sql(pentagon_query)
+        assert len(ast.from_items) == 5
+        assert all(isinstance(item, TableRef) for item in ast.from_items)
+
+    def test_equalities_point_to_first_occurrence(self, pentagon_query):
+        ast = naive_sql(pentagon_query)
+        # Pentagon: 5 edges, 5 vertices; each vertex occurs twice, so
+        # there are exactly 5 equalities.
+        assert len(ast.where.equalities) == 5
+
+    def test_boolean_emulation_required(self):
+        query = ConjunctiveQuery(atoms=(Atom("edge", ("a", "b")),))
+        with pytest.raises(SqlSemanticError, match="free variable"):
+            naive_sql(query)
+
+    def test_executes_correctly(self, pentagon_query):
+        ast = naive_sql(pentagon_query)
+        result = execute(ast, edge_database())
+        assert result.cardinality == 3
+
+
+class TestStraightforward:
+    def test_single_nested_join_no_subqueries(self, pentagon_query):
+        ast = straightforward_sql(pentagon_query)
+        assert len(ast.from_items) == 1
+        assert subquery_depth(ast) == 1
+        assert len(list(iter_subqueries(ast))) == 1
+
+    def test_round_trip(self, pentagon_query):
+        text = render(straightforward_sql(pentagon_query))
+        assert execute(parse(text), edge_database()).cardinality == 3
+
+
+class TestEarlyProjection:
+    def test_contains_subqueries(self, pentagon_query):
+        ast = early_projection_sql(pentagon_query)
+        assert subquery_depth(ast) > 1
+
+    def test_every_subquery_selects_live_vars(self, pentagon_query):
+        ast = early_projection_sql(pentagon_query)
+        for sub in iter_subqueries(ast):
+            assert len(sub.select) >= 1
+            assert sub.distinct
+
+
+class TestBucket:
+    def test_one_subquery_per_processed_bucket(self, pentagon_query):
+        from repro.core.buckets import bucket_elimination_plan
+
+        bucket = bucket_elimination_plan(pentagon_query)
+        ast = bucket_elimination_sql(pentagon_query)
+        subqueries = list(iter_subqueries(ast))
+        # Outer query + one per intermediate projection point.
+        assert len(subqueries) >= len(bucket.trace) - 1
+
+    def test_explicit_order(self, pentagon_query):
+        from repro.core.buckets import mcs_bucket_order
+
+        order = mcs_bucket_order(pentagon_query)
+        ast = bucket_elimination_sql(pentagon_query, order=order)
+        assert execute(ast, edge_database()).cardinality == 3
+
+
+class TestPlanToSql:
+    def test_zero_ary_plan_rejected(self):
+        query = ConjunctiveQuery(atoms=(Atom("edge", ("a", "b")),))
+        plan = plan_query(query, "straightforward")
+        with pytest.raises(SqlSemanticError, match="0-ary"):
+            plan_to_sql(plan)
+
+    def test_repeated_variable_atom(self):
+        db = Database({"r": Relation(("a", "b"), [(1, 1), (1, 2)])})
+        query = ConjunctiveQuery(
+            atoms=(Atom("r", ("x", "x")),), free_variables=("x",)
+        )
+        text = generate_sql(query, "straightforward")
+        assert execute(parse(text), db).rows == {(1,)}
+
+    def test_constant_atom(self):
+        db = Database({"r": Relation(("a", "b"), [(1, 5), (2, 6)])})
+        query = ConjunctiveQuery(
+            atoms=(Atom("r", ("x", Const(5))),), free_variables=("x",)
+        )
+        text = generate_sql(query, "straightforward")
+        assert execute(parse(text), db).rows == {(1,)}
+
+    def test_repeated_variable_in_join(self):
+        db = Database(
+            {
+                "r": Relation(("a", "b"), [(1, 1), (2, 3)]),
+                "s": Relation(("a",), [(1,), (2,)]),
+            }
+        )
+        query = ConjunctiveQuery(
+            atoms=(Atom("s", ("x",)), Atom("r", ("x", "x"))),
+            free_variables=("x",),
+        )
+        text = generate_sql(query, "straightforward")
+        assert execute(parse(text), db).rows == {(1,)}
+
+    def test_unknown_method(self, pentagon_query):
+        with pytest.raises(SqlSemanticError, match="unknown SQL method"):
+            generate_sql(pentagon_query, "voodoo")
+
+    def test_aliases_match_atom_numbering(self, pentagon_query):
+        ast = naive_sql(pentagon_query)
+        aliases = [item.alias for item in ast.from_items]
+        assert aliases == ["e1", "e2", "e3", "e4", "e5"]
+
+
+@st.composite
+def random_queries(draw):
+    order = draw(st.integers(min_value=3, max_value=7))
+    max_edges = order * (order - 1) // 2
+    edges = draw(st.integers(min_value=1, max_value=min(max_edges, 10)))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    graph = random_graph(order, edges, random.Random(seed))
+    free_two = draw(st.booleans())
+    if free_two:
+        touched = sorted({v for e in graph.edges for v in e})
+        return coloring_query(graph, free_vertices=tuple(touched[:2]))
+    return coloring_query(graph)
+
+
+@given(random_queries(), st.sampled_from(SQL_METHODS))
+def test_sql_pipeline_equals_plan_execution(query, method):
+    """The grand SQL integration property: generate → parse → execute
+    equals direct plan evaluation, for every method and random query."""
+    database = edge_database()
+    expected, _ = evaluate(plan_query(query, "straightforward"), database)
+    text = generate_sql(query, method, rng=random.Random(5))
+    result = execute(parse(text), database)
+    assert result == expected

@@ -1,0 +1,77 @@
+"""Tokenizer behaviour, including error positions."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)]
+
+
+def test_keywords_case_insensitive():
+    tokens = tokenize("select Distinct FROM")
+    assert [t.value for t in tokens[:-1]] == ["SELECT", "DISTINCT", "FROM"]
+    assert all(t.kind == "KEYWORD" for t in tokens[:-1])
+
+
+def test_identifiers_keep_case():
+    tokens = tokenize("Edge e1")
+    assert tokens[0].value == "Edge"
+    assert tokens[0].kind == "IDENT"
+
+
+def test_punctuation():
+    assert values("( ) , . = ;")[:-1] == ["(", ")", ",", ".", "=", ";"]
+
+
+def test_numbers():
+    assert values("42 -7")[:-1] == [42, -7]
+
+
+def test_string_literal():
+    tokens = tokenize("'hello'")
+    assert tokens[0].kind == "STRING"
+    assert tokens[0].value == "hello"
+
+
+def test_string_with_escaped_quote():
+    assert tokenize("'it''s'")[0].value == "it's"
+
+
+def test_unterminated_string():
+    with pytest.raises(SqlSyntaxError, match="unterminated"):
+        tokenize("'oops")
+
+
+def test_comment_skipped():
+    tokens = tokenize("SELECT -- a comment\n x.y")
+    assert [t.kind for t in tokens[:-1]] == ["KEYWORD", "IDENT", "PUNCT", "IDENT"]
+
+
+def test_comment_at_end_of_input():
+    tokens = tokenize("x.y -- trailing")
+    assert tokens[-1].kind == "EOF"
+
+
+def test_unexpected_character_reports_position():
+    with pytest.raises(SqlSyntaxError) as excinfo:
+        tokenize("a.b @ c.d")
+    assert excinfo.value.position == 4
+
+
+def test_eof_token_always_present():
+    assert tokenize("")[-1].kind == "EOF"
+
+
+def test_underscore_identifiers():
+    assert tokenize("cl_ppn")[0].value == "cl_ppn"
+
+
+def test_qualified_ref_token_stream():
+    assert kinds("e1.v2")[:-1] == ["IDENT", "PUNCT", "IDENT"]

@@ -1,0 +1,220 @@
+"""Planner simulator: cost model, DP optimality, GEQO behaviour, and the
+Figure 2 work asymmetry."""
+
+import math
+import random
+from itertools import permutations
+
+import pytest
+
+from repro.core.query import Atom, ConjunctiveQuery
+from repro.relalg.database import Database, edge_database
+from repro.relalg.relation import Relation
+from repro.sql.executor import execute
+from repro.sql.generator import naive_sql
+from repro.sql.planner_sim import (
+    CostModel,
+    dp_search,
+    geqo_search,
+    plan_naive,
+    plan_straightforward,
+)
+from repro.workloads.coloring import coloring_query
+from repro.workloads.graphs import cycle, pentagon
+from repro.workloads.sat import random_ksat, sat_instance
+
+
+@pytest.fixture
+def pentagon_setup():
+    query = coloring_query(pentagon())
+    return query, edge_database()
+
+
+class TestCostModel:
+    def test_base_cardinalities(self, pentagon_setup):
+        query, db = pentagon_setup
+        model = CostModel.from_query(query, db)
+        assert model.base_cardinality == [6.0] * 5
+
+    def test_ndv_from_data(self, pentagon_setup):
+        query, db = pentagon_setup
+        model = CostModel.from_query(query, db)
+        assert all(ndv == 3.0 for ndv in model.variable_ndv.values())
+
+    def test_independent_join_multiplies(self):
+        db = Database(
+            {
+                "r": Relation(("a", "b"), [(1, 2), (3, 4)]),
+                "s": Relation(("c", "d"), [(5, 6)]),
+            }
+        )
+        query = ConjunctiveQuery(
+            atoms=(Atom("r", ("a", "b")), Atom("s", ("c", "d"))),
+            free_variables=("a",),
+        )
+        model = CostModel.from_query(query, db)
+        cost = model.order_cost([0, 1])
+        assert cost == 2.0  # cross product estimate 2 * 1
+
+    def test_shared_variable_applies_selectivity(self, pentagon_setup):
+        query, db = pentagon_setup
+        model = CostModel.from_query(query, db)
+        # edges 0 and 1 share v1: 6 * 6 / 3 = 12.
+        card, _ = model.join_cardinality(6.0, query.atoms[0].variable_set, 1)
+        assert card == 12.0
+
+    def test_cost_counter_increments(self, pentagon_setup):
+        query, db = pentagon_setup
+        model = CostModel.from_query(query, db)
+        before = model.plans_costed
+        model.order_cost([0, 1, 2, 3, 4])
+        assert model.plans_costed == before + 4
+
+
+class TestDpSearch:
+    def test_matches_exhaustive_enumeration(self, pentagon_setup):
+        query, db = pentagon_setup
+        model = CostModel.from_query(query, db)
+        _, dp_cost = dp_search(model)
+        brute = min(
+            model.order_cost(list(p)) for p in permutations(range(5))
+        )
+        assert math.isclose(dp_cost, brute)
+
+    def test_returns_permutation(self, pentagon_setup):
+        query, db = pentagon_setup
+        model = CostModel.from_query(query, db)
+        order, _ = dp_search(model)
+        assert sorted(order) == list(range(5))
+
+    def test_single_atom(self):
+        db = edge_database()
+        query = ConjunctiveQuery(
+            atoms=(Atom("edge", ("a", "b")),), free_variables=("a",)
+        )
+        order, cost = dp_search(CostModel.from_query(query, db))
+        assert order == [0]
+        assert cost == 0.0
+
+
+class TestGeqoSearch:
+    def test_never_better_than_dp(self, pentagon_setup):
+        query, db = pentagon_setup
+        model = CostModel.from_query(query, db)
+        _, dp_cost = dp_search(model)
+        order, geqo_cost = geqo_search(
+            CostModel.from_query(query, db), random.Random(0)
+        )
+        assert sorted(order) == list(range(5))
+        assert geqo_cost >= dp_cost - 1e-9
+
+    def test_finds_good_plan_on_cycle(self):
+        query = coloring_query(cycle(8))
+        db = edge_database()
+        model = CostModel.from_query(query, db)
+        random_cost = model.order_cost(list(range(8)))
+        _, geqo_cost = geqo_search(model, random.Random(1))
+        assert geqo_cost <= random_cost
+
+
+class TestPlannerEntryPoints:
+    def test_naive_small_uses_dp(self, pentagon_setup):
+        query, db = pentagon_setup
+        result = plan_naive(query, db)
+        assert result.strategy == "dp"
+        assert sorted(result.order) == list(range(5))
+
+    def test_naive_large_uses_geqo(self):
+        formula = random_ksat(6, 15, random.Random(0))
+        query, db = sat_instance(formula)
+        result = plan_naive(query, db, rng=random.Random(0))
+        assert result.strategy == "geqo"
+
+    def test_threshold_override(self, pentagon_setup):
+        query, db = pentagon_setup
+        result = plan_naive(query, db, geqo_threshold=3)
+        assert result.strategy == "geqo"
+
+    def test_straightforward_costs_one_order(self, pentagon_setup):
+        query, db = pentagon_setup
+        result = plan_straightforward(query, db)
+        assert result.strategy == "fixed"
+        assert result.order == list(range(5))
+
+    def test_fig2_asymmetry(self):
+        """The Figure 2 phenomenon: naive planning does orders of
+        magnitude more work than straightforward planning."""
+        formula = random_ksat(5, 20, random.Random(3))
+        query, db = sat_instance(formula)
+        naive = plan_naive(query, db, rng=random.Random(0))
+        straight = plan_straightforward(query, db)
+        assert naive.plans_costed > 10 * straight.plans_costed
+
+    def test_naive_work_grows_with_density(self):
+        """Planner work increases monotonically as clauses are added."""
+        previous = 0
+        for clauses in (5, 10, 20, 30):
+            formula = random_ksat(5, clauses, random.Random(1))
+            query, db = sat_instance(formula)
+            result = plan_naive(query, db, rng=random.Random(0))
+            assert result.plans_costed > previous
+            previous = result.plans_costed
+
+    def test_planner_order_executes_same_answer(self, pentagon_setup):
+        query, db = pentagon_setup
+        result = plan_naive(query, db)
+        ast = naive_sql(query)
+        planned = execute(ast, db, from_order=result.order)
+        default = execute(ast, db)
+        assert planned == default
+
+
+class TestSimulatedAnnealing:
+    def test_never_better_than_dp(self, pentagon_setup):
+        from repro.sql.planner_sim import simulated_annealing_search
+
+        query, db = pentagon_setup
+        model = CostModel.from_query(query, db)
+        _, dp_cost = dp_search(model)
+        order, sa_cost = simulated_annealing_search(
+            CostModel.from_query(query, db), random.Random(0)
+        )
+        assert sorted(order) == list(range(5))
+        assert sa_cost >= dp_cost - 1e-9
+
+    def test_finds_optimum_on_pentagon(self, pentagon_setup):
+        from repro.sql.planner_sim import simulated_annealing_search
+
+        query, db = pentagon_setup
+        model = CostModel.from_query(query, db)
+        _, dp_cost = dp_search(model)
+        best = min(
+            simulated_annealing_search(
+                CostModel.from_query(query, db), random.Random(seed)
+            )[1]
+            for seed in range(3)
+        )
+        assert best <= dp_cost * 1.5  # tiny space: SA should land close
+
+    def test_single_atom(self):
+        from repro.sql.planner_sim import simulated_annealing_search
+
+        db = edge_database()
+        query = ConjunctiveQuery(
+            atoms=(Atom("edge", ("a", "b")),), free_variables=("a",)
+        )
+        order, cost = simulated_annealing_search(
+            CostModel.from_query(query, db), random.Random(0)
+        )
+        assert order == [0]
+        assert cost == 0.0
+
+    def test_improves_on_random_start(self):
+        from repro.sql.planner_sim import simulated_annealing_search
+
+        formula = random_ksat(6, 18, random.Random(2))
+        query, db = sat_instance(formula)
+        model = CostModel.from_query(query, db)
+        random_cost = model.order_cost(list(range(len(query.atoms))))
+        _, sa_cost = simulated_annealing_search(model, random.Random(0))
+        assert sa_cost <= random_cost

@@ -1,0 +1,41 @@
+"""Every example script must run clean — they are the documented entry
+points and must never rot."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert SCRIPTS, f"no example scripts under {EXAMPLES_DIR}"
+    names = {script.name for script in SCRIPTS}
+    assert "quickstart.py" in names
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda s: s.name)
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_datalog_program_example_runs():
+    program = EXAMPLES_DIR / "triangle.dl"
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "program", str(program)],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert "3 rows" in completed.stdout

@@ -1,0 +1,90 @@
+"""EXPLAIN: annotations, estimate/actual agreement, and rendering."""
+
+import pytest
+
+from repro.core.planner import plan_query
+from repro.explain import explain
+from repro.plans import Join, Project, Scan
+from repro.relalg.database import Database, edge_database
+from repro.relalg.engine import evaluate
+from repro.relalg.relation import Relation
+from repro.workloads.coloring import coloring_instance
+from repro.workloads.graphs import pentagon
+
+
+@pytest.fixture
+def db():
+    return edge_database()
+
+
+class TestAnnotations:
+    def test_scan_estimates_are_exact(self, db):
+        result = explain(Scan("edge", ("a", "b")), db)
+        assert result.root.estimated_rows == 6.0
+        assert result.root.actual_rows == 6
+        assert result.root.estimation_error == 1.0
+
+    def test_join_estimate_uses_ndv(self, db):
+        plan = Join(Scan("edge", ("a", "b")), Scan("edge", ("b", "c")))
+        result = explain(plan, db)
+        # 6 * 6 / ndv(b)=3 = 12, which happens to be exact here.
+        assert result.root.estimated_rows == 12.0
+        assert result.root.actual_rows == 12
+
+    def test_cross_join_labelled(self, db):
+        plan = Join(Scan("edge", ("a", "b")), Scan("edge", ("c", "d")))
+        result = explain(plan, db)
+        assert "cross" in result.root.label
+        assert result.root.actual_rows == 36
+
+    def test_projection_estimate_is_passthrough(self, db):
+        plan = Project(Scan("edge", ("a", "b")), ("a",))
+        result = explain(plan, db)
+        # Planner convention: projection keeps the child's estimate, so
+        # the error is visible (6 estimated vs 3 actual).
+        assert result.root.estimated_rows == 6.0
+        assert result.root.actual_rows == 3
+        assert result.root.estimation_error == 2.0
+
+    def test_result_matches_engine(self, db):
+        instance = coloring_instance(pentagon())
+        plan = plan_query(instance.query, "bucket")
+        expected, _ = evaluate(plan, instance.database)
+        result = explain(plan, instance.database)
+        assert result.result == expected
+
+    def test_constant_scan(self):
+        db = Database({"r": Relation(("a", "b"), [(1, 5), (2, 6)])})
+        result = explain(Scan("r", ("x",), constants=((1, 5),)), db)
+        assert result.root.actual_rows == 1
+
+
+class TestErrorTracking:
+    def test_error_grows_through_joins_on_structured_queries(self, db):
+        """Why cost-based planning struggles here: multiplicative error
+        accumulates with every join of the straightforward plan."""
+        instance = coloring_instance(pentagon())
+        plan = plan_query(instance.query, "straightforward")
+        result = explain(plan, instance.database)
+        assert result.max_estimation_error() > 1.0
+
+    def test_max_error_at_least_root_error(self, db):
+        plan = Project(Scan("edge", ("a", "b")), ("a",))
+        result = explain(plan, db)
+        assert result.max_estimation_error() >= result.root.estimation_error
+
+
+class TestRendering:
+    def test_render_mentions_every_operator(self, db):
+        instance = coloring_instance(pentagon())
+        plan = plan_query(instance.query, "bucket")
+        text = explain(plan, instance.database).render()
+        assert text.count("Scan edge") == 5
+        assert "Project" in text
+        assert "estimated=" in text and "actual=" in text
+
+    def test_render_indents_children(self, db):
+        plan = Join(Scan("edge", ("a", "b")), Scan("edge", ("b", "c")))
+        lines = explain(plan, db).render().splitlines()
+        assert lines[0].startswith("Join")
+        assert lines[1].startswith("  Scan")

@@ -1,0 +1,110 @@
+"""Golden-output regression tests.
+
+The generator's SQL text, the plan pretty-printer, and the Datalog
+renderer are user-facing surfaces: downstream scripts parse or diff
+them.  These tests pin their exact output for fixed inputs, so any
+behavioural drift (alias numbering, ON-clause ordering, indentation)
+shows up as a readable diff rather than a subtle downstream breakage.
+Deterministic seeds everywhere; update the constants deliberately when
+the format is *meant* to change.
+"""
+
+import random
+
+from repro.core.planner import plan_query
+from repro.datalog import parse_rule, render_datalog
+from repro.plans import pretty_plan
+from repro.sql.generator import generate_sql
+from repro.workloads.coloring import coloring_query
+from repro.workloads.graphs import pentagon
+
+
+GOLDEN_NAIVE = """\
+SELECT DISTINCT e1.v1
+FROM edge e1 (v1, v2),
+edge e2 (v1, v5),
+edge e3 (v4, v5),
+edge e4 (v3, v4),
+edge e5 (v2, v3)
+WHERE e2.v1 = e1.v1 AND e3.v5 = e2.v5 AND e4.v4 = e3.v4 AND e5.v2 = e1.v2 AND e5.v3 = e4.v3;"""
+
+GOLDEN_STRAIGHTFORWARD = """\
+SELECT DISTINCT e1.v1
+FROM edge e5 (v2, v3) JOIN (edge e4 (v3, v4) JOIN (edge e3 (v4, v5) JOIN (edge e2 (v1, v5) JOIN edge e1 (v1, v2) ON ( e2.v1 = e1.v1 )) ON ( e3.v5 = e2.v5 )) ON ( e4.v4 = e3.v4 )) ON ( e5.v2 = e1.v2 AND e5.v3 = e4.v3 );"""
+
+GOLDEN_EARLY = """\
+SELECT DISTINCT t2.v1
+FROM edge e5 (v2, v3) JOIN (
+   SELECT DISTINCT t1.v1, t1.v2, e4.v3
+   FROM edge e4 (v3, v4) JOIN (
+      SELECT DISTINCT e1.v1, e1.v2, e3.v4
+      FROM edge e3 (v4, v5) JOIN (edge e2 (v1, v5) JOIN edge e1 (v1, v2) ON ( e2.v1 = e1.v1 )) ON ( e3.v5 = e2.v5 )) AS t1 ON ( e4.v4 = t1.v4 )) AS t2 ON ( e5.v2 = t2.v2 AND e5.v3 = t2.v3 );"""
+
+GOLDEN_BUCKET = """\
+SELECT DISTINCT e2.v1
+FROM (
+   SELECT DISTINCT e3.v5, t2.v1
+   FROM (
+      SELECT DISTINCT e1.v1, t1.v4
+      FROM (
+         SELECT DISTINCT e4.v4, e5.v2
+         FROM edge e5 (v2, v3) JOIN edge e4 (v3, v4) ON ( e5.v3 = e4.v3 )) AS t1 JOIN edge e1 (v1, v2) ON ( t1.v2 = e1.v2 )) AS t2 JOIN edge e3 (v4, v5) ON ( t2.v4 = e3.v4 )) AS t3 JOIN edge e2 (v1, v5) ON ( t3.v1 = e2.v1 AND t3.v5 = e2.v5 );"""
+
+GOLDEN_BUCKET_PLAN = """\
+Project[v1]
+  Join
+    Scan edge(v1, v5)
+    Project[v5, v1]
+      Join
+        Scan edge(v4, v5)
+        Project[v1, v4]
+          Join
+            Scan edge(v1, v2)
+            Project[v4, v2]
+              Join
+                Scan edge(v3, v4)
+                Scan edge(v2, v3)"""
+
+
+class TestGoldenSql:
+    def test_naive(self):
+        query = coloring_query(pentagon())
+        assert generate_sql(query, "naive") == GOLDEN_NAIVE
+
+    def test_straightforward(self):
+        query = coloring_query(pentagon())
+        assert generate_sql(query, "straightforward") == GOLDEN_STRAIGHTFORWARD
+
+    def test_early(self):
+        query = coloring_query(pentagon())
+        assert generate_sql(query, "early") == GOLDEN_EARLY
+
+    def test_bucket(self):
+        query = coloring_query(pentagon())
+        assert generate_sql(query, "bucket", rng=random.Random(0)) == GOLDEN_BUCKET
+
+    def test_reordering_stable_for_fixed_seed(self):
+        query = coloring_query(pentagon())
+        first = generate_sql(query, "reordering", rng=random.Random(7))
+        second = generate_sql(query, "reordering", rng=random.Random(7))
+        assert first == second
+
+
+class TestGoldenPlan:
+    def test_bucket_plan_pretty(self):
+        query = coloring_query(pentagon())
+        plan = plan_query(query, "bucket", rng=random.Random(0))
+        assert pretty_plan(plan) == GOLDEN_BUCKET_PLAN
+
+
+class TestGoldenDatalog:
+    def test_render(self):
+        rule = "q(X, Z) :- edge(X, Y), edge(Y, Z), label(X, 'hub'), r(X, 3)."
+        assert render_datalog(parse_rule(rule)) == rule
+
+    def test_coloring_query_renders(self):
+        query = coloring_query(pentagon())
+        assert render_datalog(query) == (
+            "q(V_v1) :- edge(V_v1, V_v2), edge(V_v1, V_v5), "
+            "edge(V_v4, V_v5), edge(V_v3, V_v4), edge(V_v2, V_v3)."
+        )

@@ -1,0 +1,137 @@
+"""Cross-module integration: the whole pipeline must agree with itself.
+
+These tests tie together subsystems that the per-module suites exercise
+in isolation: query model -> (five planners | SQL generator -> parser ->
+executor | Yannakakis | mini-buckets | bag engine) -> answers, all
+cross-checked against each other and against brute-force oracles.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    METHODS,
+    is_acyclic,
+    mini_bucket_plan,
+    plan_query,
+    yannakakis_evaluate,
+)
+from repro.errors import TimeoutExceeded
+from repro.experiments.runner import run_method
+from repro.relalg import bag_evaluate, edge_database, evaluate
+from repro.sql import SQL_METHODS, execute_with_stats, generate_sql, parse
+from repro.workloads import (
+    coloring_instance,
+    is_colorable_brute_force,
+    is_satisfiable_brute_force,
+    random_graph,
+    random_ksat,
+    sat_instance,
+)
+
+
+@st.composite
+def color_instances(draw):
+    order = draw(st.integers(min_value=3, max_value=7))
+    max_edges = order * (order - 1) // 2
+    edges = draw(st.integers(min_value=2, max_value=min(max_edges, 10)))
+    seed = draw(st.integers(min_value=0, max_value=5_000))
+    free = draw(st.sampled_from([0.0, 0.2]))
+    graph = random_graph(order, edges, random.Random(seed))
+    return graph, coloring_instance(
+        graph, free_fraction=free, rng=random.Random(seed)
+    )
+
+
+@given(color_instances())
+@settings(max_examples=25)
+def test_everything_agrees_on_color_instances(pair):
+    """One instance, eleven evaluation routes, one answer."""
+    graph, instance = pair
+    db = instance.database
+    answers = set()
+
+    # Five plan-level methods.
+    for method in METHODS:
+        result, _ = evaluate(plan_query(instance.query, method, rng=random.Random(0)), db)
+        answers.add(frozenset(result.reorder(tuple(sorted(result.columns))).rows))
+
+    # Five SQL routes.
+    for method in SQL_METHODS:
+        text = generate_sql(instance.query, method, rng=random.Random(0))
+        result, _ = execute_with_stats(parse(text), db)
+        answers.add(frozenset(result.reorder(tuple(sorted(result.columns))).rows))
+
+    # Bag engine without intermediate DISTINCT.
+    result, _ = bag_evaluate(
+        plan_query(instance.query, "early"), db, dedup_projections=False
+    )
+    answers.add(frozenset(result.reorder(tuple(sorted(result.columns))).rows))
+
+    assert len(answers) == 1
+    nonempty = bool(next(iter(answers)))
+    assert nonempty == is_colorable_brute_force(graph)
+
+
+@given(color_instances())
+@settings(max_examples=15)
+def test_yannakakis_joins_the_chorus_when_acyclic(pair):
+    _, instance = pair
+    if not is_acyclic(instance.query):
+        return
+    db = instance.database
+    expected, _ = evaluate(plan_query(instance.query, "bucket"), db)
+    assert yannakakis_evaluate(instance.query, db) == expected
+
+
+@given(color_instances())
+@settings(max_examples=15)
+def test_minibuckets_relax_never_contradict(pair):
+    graph, instance = pair
+    db = instance.database
+    exact, _ = evaluate(plan_query(instance.query, "bucket"), db)
+    relaxed, _ = evaluate(mini_bucket_plan(instance.query, ibound=2).plan, db)
+    if not exact.is_empty():
+        assert not relaxed.is_empty()
+
+
+@given(st.integers(min_value=0, max_value=300))
+@settings(max_examples=25)
+def test_sat_pipeline_against_oracle(seed):
+    rng = random.Random(seed)
+    variables = rng.randrange(3, 7)
+    from math import comb
+
+    max_clauses = comb(variables, 3) * 8
+    clauses = rng.randrange(1, min(4 * variables, max_clauses) + 1)
+    formula = random_ksat(variables, clauses, rng)
+    query, db = sat_instance(formula)
+    expected = is_satisfiable_brute_force(formula)
+    for method in ("straightforward", "bucket"):
+        result, _ = evaluate(plan_query(query, method), db)
+        assert (not result.is_empty()) == expected
+    text = generate_sql(query, "bucket", rng=random.Random(0))
+    result, _ = execute_with_stats(parse(text), db)
+    assert (not result.is_empty()) == expected
+
+
+class TestRunnerGuard:
+    def test_cap_refuses_wide_plans(self):
+        instance = coloring_instance(random_graph(12, 6, random.Random(0)))
+        with pytest.raises(TimeoutExceeded):
+            run_method(
+                instance.query,
+                instance.database,
+                "straightforward",
+                cap_tuples=1000,
+            )
+
+    def test_cap_allows_narrow_plans(self):
+        instance = coloring_instance(random_graph(12, 6, random.Random(0)))
+        run = run_method(
+            instance.query, instance.database, "bucket", cap_tuples=10**9
+        )
+        assert run.plan_width is not None

@@ -1,0 +1,113 @@
+"""The `python -m repro` command line."""
+
+import pytest
+
+from repro.__main__ import build_argument_parser, main
+from repro.relalg.database import edge_database
+from repro.relalg.io import save_database
+
+RULE = "q(X) :- edge(X, Y), edge(Y, Z)."
+
+
+@pytest.fixture
+def db_dir(tmp_path):
+    save_database(edge_database(), tmp_path / "db")
+    return str(tmp_path / "db")
+
+
+class TestParser:
+    def test_subcommands(self):
+        parser = build_argument_parser()
+        for command in ("plan", "sql", "run", "analyze", "minimize"):
+            args = (
+                [command, RULE, "--db", "x"]
+                if command == "run"
+                else [command, RULE]
+            )
+            assert parser.parse_args(args).command == command
+
+    def test_method_choices(self):
+        parser = build_argument_parser()
+        args = parser.parse_args(["plan", RULE, "--method", "early"])
+        assert args.method == "early"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["plan", RULE, "--method", "nope"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_argument_parser().parse_args([])
+
+
+class TestCommands:
+    def test_plan(self, capsys):
+        assert main(["plan", RULE]) == 0
+        out = capsys.readouterr().out
+        assert "width" in out
+        assert "Scan edge" in out
+
+    def test_plan_dot(self, capsys):
+        assert main(["plan", RULE, "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_sql(self, capsys):
+        assert main(["sql", RULE, "--method", "straightforward"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("SELECT DISTINCT")
+        assert "JOIN" in out
+
+    def test_sql_jointree_falls_back(self, capsys):
+        assert main(["sql", RULE, "--method", "jointree"]) == 0
+        assert "SELECT" in capsys.readouterr().out
+
+    def test_run(self, capsys, db_dir):
+        assert main(["run", RULE, "--db", db_dir]) == 0
+        out = capsys.readouterr().out
+        assert "3 rows" in out
+
+    def test_run_explain(self, capsys, db_dir):
+        assert main(["run", RULE, "--db", db_dir, "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated=" in out
+        assert "-- 3 rows" in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "q() :- edge(X, Y), edge(Y, Z), edge(Z, X)."]) == 0
+        out = capsys.readouterr().out
+        assert "acyclic (GYO)  : False" in out
+        assert "treewidth      : 2" in out
+        assert "GHW (bound)    : 2" in out
+
+    def test_analyze_acyclic(self, capsys):
+        assert main(["analyze", "q(X) :- edge(X, Y)."]) == 0
+        out = capsys.readouterr().out
+        assert "acyclic (GYO)  : True" in out
+        assert "GHW (bound)    : 1" in out
+
+    def test_minimize(self, capsys):
+        assert main(["minimize", "q(X) :- edge(X, Y), edge(X, Z)."]) == 0
+        out = capsys.readouterr().out
+        assert "1 join(s) removed" in out
+
+    def test_minimize_already_minimal(self, capsys):
+        assert main(["minimize", "q(X) :- edge(X, Y)."]) == 0
+        assert "already minimal" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("method", ["straightforward", "early", "reordering", "bucket", "jointree"])
+    def test_every_method_plans(self, capsys, method):
+        assert main(["plan", RULE, "--method", method]) == 0
+
+
+class TestProgramCommand:
+    def test_program_runs(self, capsys, tmp_path):
+        path = tmp_path / "p.dl"
+        path.write_text(
+            "edge(1, 2). edge(2, 3). edge(3, 1).\n"
+            "q(X) :- edge(X, Y), edge(Y, Z), edge(Z, X).\n"
+        )
+        assert main(["program", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 rows" in out
+
+    def test_run_without_db_errors(self, capsys):
+        assert main(["run", RULE]) == 2
+        assert "required" in capsys.readouterr().err

@@ -1,0 +1,135 @@
+"""Logical-plan construction, width, and validation."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plans import (
+    Join,
+    Project,
+    Scan,
+    count_joins,
+    count_scans,
+    iter_nodes,
+    left_deep_join,
+    plan_variables,
+    plan_width,
+    pretty_plan,
+    validate_plan,
+)
+
+
+@pytest.fixture
+def chain():
+    return Join(Scan("edge", ("a", "b")), Scan("edge", ("b", "c")))
+
+
+class TestScanNode:
+    def test_columns_dedup_first_occurrence(self):
+        scan = Scan("r", ("x", "y", "x"))
+        assert scan.columns == ("x", "y")
+        assert scan.arity == 2
+
+    def test_constants_do_not_appear_in_columns(self):
+        scan = Scan("r", ("x",), constants=((1, 5),))
+        assert scan.columns == ("x",)
+
+    def test_empty_scan_rejected(self):
+        with pytest.raises(PlanError):
+            Scan("r", ())
+
+    def test_all_constant_scan_allowed(self):
+        scan = Scan("r", (), constants=((0, 1),))
+        assert scan.columns == ()
+
+    def test_duplicate_constant_positions_rejected(self):
+        with pytest.raises(PlanError):
+            Scan("r", ("x",), constants=((0, 1), (0, 2)))
+
+
+class TestJoinNode:
+    def test_columns_union_keeps_left_order(self, chain):
+        assert chain.columns == ("a", "b", "c")
+        assert chain.arity == 3
+
+    def test_nested_columns(self, chain):
+        outer = Join(chain, Scan("edge", ("c", "a")))
+        assert outer.columns == ("a", "b", "c")
+
+
+class TestProjectNode:
+    def test_valid_projection(self, chain):
+        project = Project(chain, ("a", "c"))
+        assert project.arity == 2
+
+    def test_missing_column_rejected(self, chain):
+        with pytest.raises(PlanError, match="not produced"):
+            Project(chain, ("z",))
+
+    def test_duplicate_columns_rejected(self, chain):
+        with pytest.raises(PlanError, match="duplicate"):
+            Project(chain, ("a", "a"))
+
+    def test_zero_column_projection_allowed(self, chain):
+        assert Project(chain, ()).arity == 0
+
+
+class TestTraversal:
+    def test_iter_nodes_postorder(self, chain):
+        plan = Project(chain, ("a",))
+        kinds = [type(node).__name__ for node in iter_nodes(plan)]
+        assert kinds == ["Scan", "Scan", "Join", "Project"]
+
+    def test_counts(self, chain):
+        plan = Project(chain, ("a",))
+        assert count_joins(plan) == 1
+        assert count_scans(plan) == 2
+
+    def test_plan_variables(self, chain):
+        assert plan_variables(chain) == {"a", "b", "c"}
+
+
+class TestWidth:
+    def test_width_of_chain(self, chain):
+        assert plan_width(chain) == 3
+
+    def test_projection_reduces_future_width(self):
+        inner = Project(
+            Join(Scan("edge", ("a", "b")), Scan("edge", ("b", "c"))), ("c",)
+        )
+        outer = Join(inner, Scan("edge", ("c", "d")))
+        assert plan_width(outer) == 3  # the un-projected join inside
+
+    def test_width_single_scan(self):
+        assert plan_width(Scan("edge", ("a", "b"))) == 2
+
+
+class TestLeftDeepJoin:
+    def test_fold(self):
+        scans = [Scan("edge", (f"v{i}", f"v{i + 1}")) for i in range(3)]
+        plan = left_deep_join(list(scans))
+        assert count_joins(plan) == 2
+        assert isinstance(plan, Join)
+        assert isinstance(plan.left, Join)
+
+    def test_single_leaf_is_identity(self):
+        scan = Scan("edge", ("a", "b"))
+        assert left_deep_join([scan]) is scan
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlanError):
+            left_deep_join([])
+
+
+class TestValidateAndPretty:
+    def test_validate_ok(self, chain):
+        validate_plan(Project(chain, ("a",)))
+
+    def test_pretty_plan_mentions_all_parts(self, chain):
+        text = pretty_plan(Project(chain, ("a",)))
+        assert "Project[a]" in text
+        assert text.count("Scan edge") == 2
+        assert "Join" in text
+
+    def test_pretty_plan_shows_constants(self):
+        text = pretty_plan(Scan("r", ("x",), constants=((1, 5),)))
+        assert "[1=5]" in text

@@ -1,0 +1,89 @@
+"""The public API surface: imports resolve, __all__ is honest, and the
+README quickstart actually works."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.relalg",
+        "repro.plans",
+        "repro.core",
+        "repro.sql",
+        "repro.workloads",
+        "repro.experiments",
+        "repro.errors",
+    ],
+)
+def test_submodules_import(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.{name}"
+
+
+def test_readme_quickstart():
+    from repro import coloring_instance, evaluate, pentagon, plan_query
+
+    instance = coloring_instance(pentagon())
+    plan = plan_query(instance.query, "bucket")
+    result, stats = evaluate(plan, instance.database)
+    assert result.cardinality == 3
+    assert stats.max_intermediate_arity <= 3
+
+
+def test_error_hierarchy():
+    from repro.errors import (
+        CatalogError,
+        OrderingError,
+        PlanError,
+        QueryStructureError,
+        ReproError,
+        SchemaError,
+        SqlSemanticError,
+        SqlSyntaxError,
+        TimeoutExceeded,
+        WorkloadError,
+    )
+
+    for exc in (
+        SchemaError,
+        CatalogError,
+        PlanError,
+        SqlSyntaxError,
+        SqlSemanticError,
+        QueryStructureError,
+        OrderingError,
+        TimeoutExceeded,
+        WorkloadError,
+    ):
+        assert issubclass(exc, ReproError)
+
+
+def test_sql_syntax_error_carries_position():
+    from repro.errors import SqlSyntaxError
+
+    error = SqlSyntaxError("boom", position=17)
+    assert error.position == 17
+
+
+def test_cli_entry_point_exists():
+    from repro.experiments.__main__ import build_argument_parser
+
+    parser = build_argument_parser()
+    args = parser.parse_args(["fig3", "--seeds", "2"])
+    assert args.figure == "fig3"
+    assert args.seeds == 2

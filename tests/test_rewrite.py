@@ -1,0 +1,133 @@
+"""Rule-based rewriting: soundness, termination, and the derived
+early-projection normal form."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.early_projection import early_projection_plan, straightforward_plan
+from repro.plans import Join, Project, Scan, plan_width
+from repro.relalg.database import edge_database
+from repro.relalg.engine import evaluate
+from repro.rewrite import (
+    DEFAULT_RULES,
+    RewriteStats,
+    merge_adjacent_projects,
+    normalize,
+    push_project_into_join,
+    remove_identity_project,
+    join_volume,
+    rewrite_plan,
+    width_reduction,
+)
+from repro.workloads.coloring import coloring_query
+from repro.workloads.graphs import path, pentagon, random_graph
+
+
+@pytest.fixture
+def chain():
+    return Join(Scan("edge", ("a", "b")), Scan("edge", ("b", "c")))
+
+
+class TestIndividualRules:
+    def test_merge_adjacent_projects(self, chain):
+        plan = Project(Project(chain, ("a", "b")), ("a",))
+        merged = merge_adjacent_projects(plan)
+        assert isinstance(merged, Project)
+        assert merged.columns == ("a",)
+        assert merged.child is chain
+
+    def test_merge_requires_stacked_projects(self, chain):
+        assert merge_adjacent_projects(Project(chain, ("a",))) is None
+
+    def test_remove_identity_project(self, chain):
+        plan = Project(chain, chain.columns)
+        assert remove_identity_project(plan) is chain
+
+    def test_identity_requires_same_order(self, chain):
+        reordered = Project(chain, tuple(reversed(chain.columns)))
+        assert remove_identity_project(reordered) is None
+
+    def test_push_project_into_join(self, chain):
+        plan = Project(chain, ("a",))
+        pushed = push_project_into_join(plan)
+        assert pushed is not None
+        inner = pushed.child
+        assert isinstance(inner, Join)
+        # Right side keeps only its join column b (c was dropped).
+        assert isinstance(inner.right, Project)
+        assert inner.right.columns == ("b",)
+
+    def test_push_noop_when_nothing_shrinks(self, chain):
+        plan = Project(chain, ("a", "b", "c"))
+        assert push_project_into_join(plan) is None
+
+
+class TestDriver:
+    def test_fixpoint_reached(self, chain):
+        stats = RewriteStats()
+        plan = Project(Project(chain, ("a", "b")), ("a",))
+        result = rewrite_plan(plan, stats=stats)
+        assert stats.applications >= 1
+        assert rewrite_plan(result) == result  # idempotent
+
+    def test_max_passes_bounds_runaway_rules(self, chain):
+        def flip_flop(plan):
+            # Pathological rule: swaps join operands forever.
+            if isinstance(plan, Join):
+                return Join(plan.right, plan.left)
+            return None
+
+        stats = RewriteStats()
+        rewrite_plan(chain, rules=(flip_flop,), max_passes=7, stats=stats)
+        assert stats.passes == 7
+
+    def test_join_volume_never_increases(self):
+        query = coloring_query(pentagon())
+        plan = straightforward_plan(query)
+        assert join_volume(normalize(plan)) <= join_volume(plan)
+
+
+class TestNormalForm:
+    def test_straightforward_becomes_projection_pushed(self):
+        """Normalizing the straightforward plan mechanically derives an
+        early-projection-quality plan on path queries."""
+        query = coloring_query(path(6))
+        straight = straightforward_plan(query)
+        pushed = normalize(straight)
+        early = early_projection_plan(query)
+        assert plan_width(pushed) <= plan_width(early)
+
+    def test_width_reduction_positive_on_wide_plans(self):
+        query = coloring_query(path(6))
+        assert width_reduction(straightforward_plan(query)) > 0
+
+    def test_width_reduction_zero_on_pushed_plans(self):
+        query = coloring_query(path(6))
+        early = early_projection_plan(query)
+        assert width_reduction(early) >= 0  # never negative
+
+    @given(st.integers(min_value=0, max_value=200))
+    def test_normalization_preserves_answers(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(6, rng.randrange(2, 10), rng)
+        query = coloring_query(graph)
+        plan = straightforward_plan(query)
+        db = edge_database()
+        before, _ = evaluate(plan, db)
+        after, stats_after = evaluate(normalize(plan), db)
+        assert after == before
+
+    @given(st.integers(min_value=0, max_value=200))
+    def test_normalization_never_widens(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(6, rng.randrange(2, 10), rng)
+        plan = straightforward_plan(coloring_query(graph))
+        assert plan_width(normalize(plan)) <= plan_width(plan)
+
+    def test_default_rules_registry(self):
+        assert merge_adjacent_projects in DEFAULT_RULES
+        assert push_project_into_join in DEFAULT_RULES
+        assert remove_identity_project in DEFAULT_RULES

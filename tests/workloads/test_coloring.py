@@ -1,0 +1,149 @@
+"""3-COLOR encoding: query shape, database, and oracle agreement."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.planner import plan_query
+from repro.errors import WorkloadError
+from repro.relalg.engine import evaluate
+from repro.workloads.coloring import (
+    coloring_instance,
+    coloring_query,
+    count_colorings_brute_force,
+    is_colorable_brute_force,
+    sample_free_vertices,
+    variable_name,
+)
+from repro.workloads.graphs import (
+    Graph,
+    complete_graph,
+    cycle,
+    pentagon,
+    random_graph,
+)
+
+
+class TestQueryShape:
+    def test_one_atom_per_edge(self):
+        query = coloring_query(pentagon())
+        assert len(query.atoms) == 5
+        assert all(atom.relation == "edge" for atom in query.atoms)
+
+    def test_variable_naming_one_indexed(self):
+        assert variable_name(0) == "v1"
+        query = coloring_query(Graph(2, ((0, 1),)))
+        assert query.atoms[0].variables == ("v1", "v2")
+
+    def test_boolean_emulation_selects_first_vertex(self):
+        query = coloring_query(pentagon())
+        assert query.free_variables == ("v1",)
+
+    def test_true_boolean(self):
+        query = coloring_query(pentagon(), emulate_boolean=False)
+        assert query.free_variables == ()
+
+    def test_explicit_free_vertices(self):
+        query = coloring_query(pentagon(), free_vertices=(2, 4))
+        assert query.free_variables == ("v3", "v5")
+
+    def test_edgeless_graph_rejected(self):
+        with pytest.raises(WorkloadError):
+            coloring_query(Graph(3))
+
+
+class TestInstance:
+    def test_database_holds_six_tuples(self):
+        instance = coloring_instance(pentagon())
+        assert instance.database["edge"].cardinality == 6
+
+    def test_k_colors_database(self):
+        instance = coloring_instance(pentagon(), colors=4)
+        assert instance.database["edge"].cardinality == 12
+
+    def test_too_few_colors_rejected(self):
+        with pytest.raises(WorkloadError):
+            coloring_instance(pentagon(), colors=1)
+
+    def test_free_fraction_picks_touched_vertices(self):
+        graph = random_graph(10, 8, random.Random(0))
+        instance = coloring_instance(
+            graph, free_fraction=0.2, rng=random.Random(1)
+        )
+        assert len(instance.query.free_variables) >= 1
+
+    def test_is_boolean_flag(self):
+        assert coloring_instance(pentagon()).is_boolean
+        non_boolean = coloring_instance(
+            pentagon(), free_fraction=0.5, rng=random.Random(0)
+        )
+        assert not non_boolean.is_boolean
+
+
+class TestSampleFreeVertices:
+    def test_fraction_bounds(self):
+        with pytest.raises(WorkloadError):
+            sample_free_vertices(pentagon(), 1.5, random.Random(0))
+
+    def test_zero_fraction_empty(self):
+        assert sample_free_vertices(pentagon(), 0.0, random.Random(0)) == ()
+
+    def test_twenty_percent_of_pentagon_is_one(self):
+        free = sample_free_vertices(pentagon(), 0.2, random.Random(0))
+        assert len(free) == 1
+
+    def test_only_touched_vertices_eligible(self):
+        graph = Graph(10, ((0, 1),))
+        free = sample_free_vertices(graph, 1.0, random.Random(0))
+        assert set(free) == {0, 1}
+
+    def test_sorted_output(self):
+        free = sample_free_vertices(pentagon(), 0.8, random.Random(3))
+        assert list(free) == sorted(free)
+
+
+class TestOracleAgreement:
+    def test_pentagon_colorable(self):
+        instance = coloring_instance(pentagon())
+        result, _ = evaluate(plan_query(instance.query, "bucket"), instance.database)
+        assert not result.is_empty()
+
+    def test_k4_not_colorable(self):
+        instance = coloring_instance(complete_graph(4))
+        result, _ = evaluate(plan_query(instance.query, "bucket"), instance.database)
+        assert result.is_empty()
+
+    def test_odd_cycle_needs_three(self):
+        # 2 colors fail on C5, 3 succeed.
+        two = coloring_instance(cycle(5), colors=2)
+        three = coloring_instance(cycle(5), colors=3)
+        empty, _ = evaluate(plan_query(two.query, "bucket"), two.database)
+        full, _ = evaluate(plan_query(three.query, "bucket"), three.database)
+        assert empty.is_empty()
+        assert not full.is_empty()
+
+    def test_full_free_counts_colorings(self):
+        graph = cycle(4)
+        query = coloring_query(graph, free_vertices=tuple(range(4)))
+        instance = coloring_instance(graph)
+        result, _ = evaluate(plan_query(query, "bucket"), instance.database)
+        assert result.cardinality == count_colorings_brute_force(graph)
+
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=9),
+        st.integers(min_value=0, max_value=500),
+    )
+    def test_query_nonemptiness_is_colorability(self, order, edges, seed):
+        rng = random.Random(seed)
+        max_edges = order * (order - 1) // 2
+        graph = random_graph(order, min(edges, max_edges), rng)
+        if not graph.edges:
+            return
+        instance = coloring_instance(graph)
+        result, _ = evaluate(
+            plan_query(instance.query, "bucket"), instance.database
+        )
+        assert (not result.is_empty()) == is_colorable_brute_force(graph)

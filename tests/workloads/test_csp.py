@@ -1,0 +1,101 @@
+"""Generic CSP encoding and its consistency with the specialized encoders."""
+
+import pytest
+
+from repro.core.planner import plan_query
+from repro.errors import WorkloadError
+from repro.relalg.engine import evaluate
+from repro.workloads.csp import (
+    Constraint,
+    CspInstance,
+    all_different_constraint,
+    csp_to_query,
+    solve_brute_force,
+)
+
+
+@pytest.fixture
+def coloring_csp():
+    """3-coloring of a triangle expressed as a raw CSP."""
+    domain = (1, 2, 3)
+    neq = tuple((a, b) for a in domain for b in domain if a != b)
+    return CspInstance(
+        domains={"x": domain, "y": domain, "z": domain},
+        constraints=(
+            Constraint(("x", "y"), neq),
+            Constraint(("y", "z"), neq),
+            Constraint(("x", "z"), neq),
+        ),
+    )
+
+
+class TestValidation:
+    def test_empty_scope_rejected(self):
+        with pytest.raises(WorkloadError):
+            Constraint((), ())
+
+    def test_repeated_scope_variable_rejected(self):
+        with pytest.raises(WorkloadError):
+            Constraint(("x", "x"), ((1, 1),))
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            Constraint(("x", "y"), ((1,),))
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown variable"):
+            CspInstance(
+                domains={"x": (1,)},
+                constraints=(Constraint(("x", "ghost"), ((1, 1),)),),
+            )
+
+    def test_no_constraints_rejected(self):
+        with pytest.raises(WorkloadError):
+            CspInstance(domains={"x": (1,)}, constraints=())
+
+
+class TestEncoding:
+    def test_triangle_satisfiable(self, coloring_csp):
+        query, database = csp_to_query(coloring_csp)
+        result, _ = evaluate(plan_query(query, "bucket"), database)
+        assert not result.is_empty()
+        assert solve_brute_force(coloring_csp) is not None
+
+    def test_identical_constraints_share_relation(self, coloring_csp):
+        _, database = csp_to_query(coloring_csp)
+        assert len(database) == 1
+
+    def test_free_variables_return_assignments(self, coloring_csp):
+        query, database = csp_to_query(coloring_csp, free_variables=("x", "y", "z"))
+        result, _ = evaluate(plan_query(query, "bucket"), database)
+        assert result.cardinality == 6  # 3! proper triangle colorings
+
+    def test_unsatisfiable_csp(self):
+        csp = CspInstance(
+            domains={"x": (1, 2), "y": (1, 2)},
+            constraints=(
+                Constraint(("x", "y"), ((1, 2),)),
+                Constraint(("x", "y"), ((2, 1),)),
+            ),
+        )
+        query, database = csp_to_query(csp)
+        result, _ = evaluate(plan_query(query, "bucket"), database)
+        assert result.is_empty()
+        assert solve_brute_force(csp) is None
+
+    def test_brute_force_returns_valid_assignment(self, coloring_csp):
+        assignment = solve_brute_force(coloring_csp)
+        assert assignment is not None
+        assert assignment["x"] != assignment["y"]
+        assert assignment["y"] != assignment["z"]
+        assert assignment["x"] != assignment["z"]
+
+
+class TestAllDifferent:
+    def test_tabulation(self):
+        constraint = all_different_constraint(("a", "b"), (1, 2))
+        assert set(constraint.allowed) == {(1, 2), (2, 1)}
+
+    def test_unsatisfiable_when_domain_too_small(self):
+        constraint = all_different_constraint(("a", "b", "c"), (1, 2))
+        assert constraint.allowed == ()

@@ -1,0 +1,180 @@
+"""Graph families: exact shapes, counts, and generator contracts."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.graphs import (
+    STRUCTURED_FAMILIES,
+    Graph,
+    augmented_circular_ladder,
+    augmented_ladder,
+    augmented_path,
+    complete_graph,
+    cycle,
+    grid,
+    ladder,
+    path,
+    pentagon,
+    random_graph,
+    random_graph_with_density,
+    star,
+)
+
+
+class TestGraphContainer:
+    def test_density(self):
+        graph = Graph(4, ((0, 1), (1, 2)))
+        assert graph.density == 0.5
+        assert graph.edge_count == 2
+
+    def test_degree_and_neighbors(self):
+        graph = Graph(4, ((0, 1), (1, 2), (1, 3)))
+        assert graph.degree(1) == 3
+        assert graph.neighbors(1) == {0, 2, 3}
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(WorkloadError, match="self-loop"):
+            Graph(2, ((1, 1),))
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(WorkloadError, match="duplicate"):
+            Graph(3, ((0, 1), (1, 0)))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(WorkloadError, match="out of range"):
+            Graph(2, ((0, 5),))
+
+    def test_negative_vertices_rejected(self):
+        with pytest.raises(WorkloadError):
+            Graph(-1)
+
+    def test_empty_graph_density(self):
+        assert Graph(0).density == 0.0
+
+
+class TestRandomGraph:
+    def test_exact_edge_count(self):
+        graph = random_graph(10, 15, random.Random(0))
+        assert graph.edge_count == 15
+        assert graph.vertices == 10
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(WorkloadError, match="do not fit"):
+            random_graph(4, 7, random.Random(0))
+
+    def test_tiny_graph_no_edges_ok(self):
+        assert random_graph(1, 0, random.Random(0)).edge_count == 0
+
+    def test_tiny_graph_with_edges_rejected(self):
+        with pytest.raises(WorkloadError):
+            random_graph(1, 1, random.Random(0))
+
+    def test_deterministic_per_seed(self):
+        a = random_graph(8, 10, random.Random(5))
+        b = random_graph(8, 10, random.Random(5))
+        assert a == b
+
+    def test_density_constructor(self):
+        graph = random_graph_with_density(10, 1.5, random.Random(0))
+        assert graph.edge_count == 15
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=1000))
+    def test_simple_graph_invariants(self, order, seed):
+        rng = random.Random(seed)
+        max_edges = order * (order - 1) // 2
+        edges = rng.randint(0, max_edges)
+        graph = random_graph(order, edges, rng)
+        # Construction re-validates simplicity; reaching here is the test.
+        assert graph.edge_count == edges
+
+
+class TestStructuredFamilies:
+    def test_augmented_path_counts(self):
+        # Path of length n: n+1 path vertices, each with a dangling edge.
+        graph = augmented_path(4)
+        assert graph.vertices == 10
+        assert graph.edge_count == 4 + 5
+
+    def test_augmented_path_danglers_have_degree_one(self):
+        graph = augmented_path(3)
+        for dangler in range(4, 8):
+            assert graph.degree(dangler) == 1
+
+    def test_ladder_counts(self):
+        graph = ladder(5)
+        assert graph.vertices == 10
+        assert graph.edge_count == 2 * 4 + 5  # rails + rungs
+
+    def test_ladder_degrees(self):
+        graph = ladder(4)
+        degrees = sorted(graph.degree(v) for v in range(graph.vertices))
+        assert degrees == [2, 2, 2, 2, 3, 3, 3, 3]
+
+    def test_augmented_ladder_counts(self):
+        graph = augmented_ladder(4)
+        base = ladder(4)
+        assert graph.vertices == 2 * base.vertices
+        assert graph.edge_count == base.edge_count + base.vertices
+
+    def test_augmented_circular_ladder_counts(self):
+        graph = augmented_circular_ladder(4)
+        assert graph.edge_count == ladder(4).edge_count + 2 + 8
+
+    def test_circular_ladder_rails_closed(self):
+        graph = augmented_circular_ladder(4)
+        assert 0 in graph.neighbors(3)  # left rail closed
+        assert 4 in graph.neighbors(7)  # right rail closed
+
+    def test_minimum_sizes_enforced(self):
+        with pytest.raises(WorkloadError):
+            augmented_path(0)
+        with pytest.raises(WorkloadError):
+            ladder(0)
+        with pytest.raises(WorkloadError):
+            augmented_circular_ladder(2)
+
+    def test_registry(self):
+        assert set(STRUCTURED_FAMILIES) == {
+            "augmented_path",
+            "ladder",
+            "augmented_ladder",
+            "augmented_circular_ladder",
+        }
+
+
+class TestClassicFamilies:
+    def test_cycle(self):
+        graph = cycle(5)
+        assert graph.edge_count == 5
+        assert all(graph.degree(v) == 2 for v in range(5))
+
+    def test_cycle_minimum(self):
+        with pytest.raises(WorkloadError):
+            cycle(2)
+
+    def test_path(self):
+        graph = path(4)
+        assert graph.vertices == 5
+        assert graph.edge_count == 4
+
+    def test_complete(self):
+        graph = complete_graph(5)
+        assert graph.edge_count == 10
+
+    def test_grid(self):
+        graph = grid(3, 4)
+        assert graph.vertices == 12
+        assert graph.edge_count == 3 * 3 + 2 * 4
+
+    def test_star(self):
+        graph = star(6)
+        assert graph.degree(0) == 6
+
+    def test_pentagon_is_paper_listing(self):
+        graph = pentagon()
+        assert graph.vertices == 5
+        assert graph.edges == ((0, 1), (0, 4), (3, 4), (2, 3), (1, 2))

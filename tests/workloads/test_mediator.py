@@ -1,0 +1,127 @@
+"""Mediator workload generator: shapes, validation, and executability."""
+
+import random
+
+import pytest
+
+from repro.core.planner import plan_query
+from repro.errors import WorkloadError
+from repro.relalg.engine import evaluate
+from repro.workloads.mediator import (
+    MEDIATOR_SHAPES,
+    MediatorConfig,
+    chain_query,
+    snowflake_query,
+    star_query,
+)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        MediatorConfig()
+
+    def test_arity_floor(self):
+        with pytest.raises(WorkloadError):
+            MediatorConfig(min_arity=1)
+
+    def test_bounds_ordering(self):
+        with pytest.raises(WorkloadError):
+            MediatorConfig(min_rows=10, max_rows=5)
+
+    def test_domain_floor(self):
+        with pytest.raises(WorkloadError):
+            MediatorConfig(domain_size=1)
+
+
+class TestChain:
+    def test_shape(self):
+        query, database = chain_query(6, random.Random(0))
+        assert len(query.atoms) == 6
+        assert len(database) == 6
+        assert query.free_variables == ("j0", "j6")
+
+    def test_consecutive_atoms_share_a_variable(self):
+        query, _ = chain_query(5, random.Random(1))
+        for left, right in zip(query.atoms, query.atoms[1:]):
+            assert left.variable_set & right.variable_set
+
+    def test_varying_arities(self):
+        _, database = chain_query(
+            12, random.Random(3), MediatorConfig(min_arity=2, max_arity=4)
+        )
+        arities = {database[name].arity for name in database.names()}
+        assert len(arities) > 1
+
+    def test_single_endpoint(self):
+        query, _ = chain_query(3, random.Random(0), free_endpoints=False)
+        assert query.free_variables == ("j0",)
+
+    def test_zero_hops_rejected(self):
+        with pytest.raises(WorkloadError):
+            chain_query(0, random.Random(0))
+
+    def test_all_methods_agree(self):
+        query, database = chain_query(7, random.Random(4))
+        reference, _ = evaluate(plan_query(query, "straightforward"), database)
+        for method in ("early", "reordering", "bucket"):
+            result, _ = evaluate(
+                plan_query(query, method, rng=random.Random(0)), database
+            )
+            assert result == reference, method
+
+
+class TestStar:
+    def test_shape(self):
+        query, database = star_query(5, random.Random(0))
+        assert len(query.atoms) == 6  # hub + satellites
+        assert "hub" in database
+
+    def test_satellites_anchor_to_hub(self):
+        query, _ = star_query(4, random.Random(2))
+        hub_vars = query.atoms[0].variable_set
+        for atom in query.atoms[1:]:
+            assert atom.variable_set & hub_vars
+
+    def test_methods_agree(self):
+        query, database = star_query(6, random.Random(5))
+        reference, _ = evaluate(plan_query(query, "straightforward"), database)
+        result, _ = evaluate(plan_query(query, "bucket"), database)
+        assert result == reference
+
+    def test_zero_satellites_rejected(self):
+        with pytest.raises(WorkloadError):
+            star_query(0, random.Random(0))
+
+
+class TestSnowflake:
+    def test_shape(self):
+        query, database = snowflake_query(3, 2, random.Random(0))
+        assert len(query.atoms) == 1 + 3 * 2
+        assert len(database) == 1 + 6
+
+    def test_methods_agree(self):
+        query, database = snowflake_query(2, 3, random.Random(7))
+        reference, _ = evaluate(plan_query(query, "straightforward"), database)
+        result, _ = evaluate(plan_query(query, "bucket"), database)
+        assert result == reference
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            snowflake_query(0, 1, random.Random(0))
+        with pytest.raises(WorkloadError):
+            snowflake_query(1, 0, random.Random(0))
+
+
+def test_registry():
+    assert set(MEDIATOR_SHAPES) == {"chain", "star"}
+
+
+def test_bucket_dominates_on_long_chains():
+    """The mediator motivation in one assertion: on a 14-hop chain the
+    structural method moves far fewer tuples than the listed order."""
+    query, database = chain_query(
+        14, random.Random(11), MediatorConfig(domain_size=6)
+    )
+    _, straight = evaluate(plan_query(query, "straightforward"), database)
+    _, bucket = evaluate(plan_query(query, "bucket"), database)
+    assert bucket.total_intermediate_tuples < straight.total_intermediate_tuples

@@ -1,0 +1,174 @@
+"""k-SAT encoding: clause relations, generator contracts, oracle agreement."""
+
+import random
+from itertools import product
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.planner import plan_query
+from repro.errors import WorkloadError
+from repro.relalg.engine import evaluate
+from repro.workloads.sat import (
+    SatFormula,
+    clause_relation,
+    clause_relation_name,
+    is_satisfiable_brute_force,
+    random_ksat,
+    sat_instance,
+    sat_variable_name,
+)
+
+
+class TestFormula:
+    def test_density(self):
+        formula = SatFormula(4, (((0, True), (1, False)),))
+        assert formula.density == 0.25
+        assert formula.clause_count == 1
+
+    def test_repeated_variable_in_clause_rejected(self):
+        with pytest.raises(WorkloadError, match="repeats"):
+            SatFormula(3, (((0, True), (0, False)),))
+
+    def test_out_of_range_literal_rejected(self):
+        with pytest.raises(WorkloadError, match="out of range"):
+            SatFormula(2, (((5, True),),))
+
+
+class TestGenerator:
+    def test_exact_counts(self):
+        formula = random_ksat(8, 20, random.Random(0))
+        assert formula.variables == 8
+        assert formula.clause_count == 20
+        assert all(len(clause) == 3 for clause in formula.clauses)
+
+    def test_custom_width(self):
+        formula = random_ksat(6, 10, random.Random(0), width=2)
+        assert all(len(clause) == 2 for clause in formula.clauses)
+
+    def test_width_exceeding_variables_rejected(self):
+        with pytest.raises(WorkloadError):
+            random_ksat(2, 1, random.Random(0), width=3)
+
+    def test_too_many_clauses_rejected(self):
+        with pytest.raises(WorkloadError, match="distinct clauses"):
+            random_ksat(3, 9, random.Random(0), width=3)
+
+    def test_no_duplicate_clauses(self):
+        formula = random_ksat(4, 20, random.Random(2), width=2)
+        keys = [frozenset(clause) for clause in formula.clauses]
+        assert len(set(keys)) == len(keys)
+
+    def test_deterministic(self):
+        assert random_ksat(6, 10, random.Random(9)) == random_ksat(
+            6, 10, random.Random(9)
+        )
+
+
+class TestClauseRelations:
+    def test_relation_has_seven_tuples_for_3sat(self):
+        clause = ((0, True), (1, True), (2, True))
+        assert clause_relation(clause).cardinality == 7
+
+    def test_falsifying_assignment_excluded(self):
+        clause = ((0, True), (1, False))
+        relation = clause_relation(clause)
+        assert (0, 1) not in relation  # x1=0, x2=1 falsifies (x1 or not x2)
+        assert relation.cardinality == 3
+
+    def test_name_reflects_signs(self):
+        clause = ((0, True), (1, False), (2, True))
+        assert clause_relation_name(clause) == "cl_pnp"
+
+    def test_same_pattern_shares_relation(self):
+        formula = SatFormula(
+            4,
+            (
+                ((0, True), (1, True)),
+                ((2, True), (3, True)),
+            ),
+        )
+        _, database = sat_instance(formula)
+        assert database.names() == ["cl_pp"]
+
+    def test_variable_naming(self):
+        assert sat_variable_name(0) == "x1"
+
+
+class TestEncoding:
+    def test_empty_formula_rejected(self):
+        with pytest.raises(WorkloadError):
+            sat_instance(SatFormula(3, ()))
+
+    def test_boolean_emulation_selects_first_var(self):
+        formula = SatFormula(3, (((1, True), (2, False)),))
+        query, _ = sat_instance(formula)
+        assert query.free_variables == ("x2",)
+
+    def test_free_fraction(self):
+        formula = random_ksat(10, 12, random.Random(0))
+        query, _ = sat_instance(formula, free_fraction=0.2, rng=random.Random(1))
+        assert len(query.free_variables) == 2
+
+    def test_invalid_fraction(self):
+        formula = random_ksat(5, 5, random.Random(0))
+        with pytest.raises(WorkloadError):
+            sat_instance(formula, free_fraction=1.5)
+
+    def test_tautology_always_sat(self):
+        # x1 or not x1 is not expressible (no repeated vars); use an
+        # easily satisfiable single clause instead.
+        formula = SatFormula(2, (((0, True), (1, True)),))
+        query, database = sat_instance(formula)
+        result, _ = evaluate(plan_query(query, "bucket"), database)
+        assert not result.is_empty()
+
+    def test_contradiction_unsat(self):
+        # (x1) and (not x1) via two width-1 clauses.
+        formula = SatFormula(1, (((0, True),), ((0, False),)))
+        query, database = sat_instance(formula)
+        result, _ = evaluate(plan_query(query, "bucket"), database)
+        assert result.is_empty()
+
+    def test_free_variables_return_models(self):
+        # (x1 or x2): free both variables; expect the 3 satisfying rows.
+        formula = SatFormula(2, (((0, True), (1, True)),))
+        query, database = sat_instance(formula, free_fraction=1.0)
+        result, _ = evaluate(plan_query(query, "bucket"), database)
+        assert result.cardinality == 3
+
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=500),
+        st.sampled_from([2, 3]),
+    )
+    def test_nonemptiness_is_satisfiability(self, variables, clauses, seed, width):
+        if width > variables:
+            return
+        from math import comb
+
+        clauses = min(clauses, comb(variables, width) * (2**width))
+        formula = random_ksat(variables, clauses, random.Random(seed), width=width)
+        query, database = sat_instance(formula)
+        result, _ = evaluate(plan_query(query, "bucket"), database)
+        assert (not result.is_empty()) == is_satisfiable_brute_force(formula)
+
+    def test_model_rows_are_exactly_satisfying_assignments(self):
+        formula = random_ksat(4, 5, random.Random(7))
+        query, database = sat_instance(formula, free_fraction=1.0)
+        result, _ = evaluate(plan_query(query, "bucket"), database)
+        # Enumerate ground truth.
+        occurring = sorted({i for c in formula.clauses for i, _ in c})
+        expected = set()
+        for assignment in product((0, 1), repeat=formula.variables):
+            if all(
+                any(assignment[i] == (1 if pos else 0) for i, pos in clause)
+                for clause in formula.clauses
+            ):
+                expected.add(tuple(assignment[i] for i in occurring))
+        got = result.reorder(
+            tuple(sat_variable_name(i) for i in occurring)
+        ).rows
+        assert got == expected
