@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Run the pytest-benchmark suite and write the results at the repo root.
+
+This is the perf-trajectory entry point: each PR that touches the hot
+path reruns it and checks the JSON in, so speedups (and regressions) are
+diffable across commits.
+
+Usage::
+
+    python benchmarks/run_all.py                          # full suite -> BENCH_PR1.json
+    python benchmarks/run_all.py -k "fig8 or fig9"        # subset
+    python benchmarks/run_all.py --baseline old.json      # adds per-benchmark speedups
+
+The output is the standard ``--benchmark-json`` document; when
+``--baseline`` points at an earlier run, a ``comparison`` section is
+appended mapping each benchmark (matched by group + name) to its
+baseline median, current median, and speedup factor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Run the benchmark suite and write the JSON artifact."
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_PR1.json",
+        help="artifact filename, written at the repo root (default: BENCH_PR1.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="earlier benchmark JSON to compute per-benchmark speedups against",
+    )
+    parser.add_argument("-k", dest="keyword", help="pytest -k expression")
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="extra arguments passed through to pytest",
+    )
+    return parser
+
+
+def run_benchmarks(keyword: str | None, extra_args: list[str], json_path: Path) -> int:
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(BENCH_DIR),
+        "-q",
+        f"--benchmark-json={json_path}",
+    ]
+    if keyword:
+        cmd += ["-k", keyword]
+    cmd += extra_args
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return subprocess.run(cmd, cwd=BENCH_DIR, env=env).returncode
+
+
+def compare(baseline: dict, current: dict) -> dict:
+    """Per-benchmark speedups: baseline median / current median."""
+
+    def by_key(document: dict) -> dict[tuple[str, str], dict]:
+        return {
+            (bench.get("group") or "", bench["name"]): bench
+            for bench in document.get("benchmarks", [])
+        }
+
+    baseline_benchmarks = by_key(baseline)
+    speedups = {}
+    for key, bench in by_key(current).items():
+        reference = baseline_benchmarks.get(key)
+        if reference is None:
+            continue
+        baseline_median = reference["stats"]["median"]
+        median = bench["stats"]["median"]
+        speedups[" :: ".join(key)] = {
+            "baseline_median_s": baseline_median,
+            "median_s": median,
+            "speedup": baseline_median / median if median else float("inf"),
+        }
+    return speedups
+
+
+def strip_raw_samples(document: dict) -> None:
+    """Drop per-round sample arrays, keeping every aggregate statistic.
+
+    The raw samples are the bulk of the JSON (megabytes over a full run)
+    and are not needed for cross-commit comparisons, which use medians.
+    """
+    for bench in document.get("benchmarks", []):
+        bench.get("stats", {}).pop("data", None)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_argument_parser().parse_args(argv)
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "bench.json"
+        code = run_benchmarks(args.keyword, args.pytest_args, json_path)
+        if code != 0:
+            return code
+        document = json.loads(json_path.read_text())
+    strip_raw_samples(document)
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        document["comparison"] = {
+            "baseline": args.baseline,
+            "speedups": compare(baseline, document),
+        }
+    output = REPO_ROOT / args.output
+    output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,7 +41,7 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.explain import ExplainResult, explain
-from repro.plans import Join, Plan, Project, Scan, plan_width, pretty_plan
+from repro.plans import Join, Plan, Project, Scan, plan_key, plan_width, pretty_plan
 from repro.rewrite import normalize, rewrite_plan
 from repro.relalg import Database, Engine, ExecutionStats, Relation, edge_database, evaluate
 from repro.sql import execute_with_stats, generate_sql, parse
@@ -75,6 +75,7 @@ __all__ = [
     "Scan",
     "Join",
     "Project",
+    "plan_key",
     "plan_width",
     "pretty_plan",
     "explain",

@@ -23,6 +23,7 @@ import sys
 from repro.core.planner import METHODS, plan_query
 from repro.datalog import parse_rule, render_datalog
 from repro.plans import plan_width, pretty_plan
+from repro.relalg.joins import JOIN_ALGORITHMS
 
 
 def build_argument_parser() -> argparse.ArgumentParser:
@@ -45,6 +46,19 @@ def build_argument_parser() -> argparse.ArgumentParser:
             )
         sub.add_argument("--seed", type=int, default=0, help="tie-break seed")
 
+    def add_execution_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--join-algorithm",
+            choices=sorted(JOIN_ALGORITHMS),
+            default="hash",
+            help="binary join implementation (default: hash)",
+        )
+        sub.add_argument(
+            "--no-plan-cache",
+            action="store_true",
+            help="disable the engine's common-subexpression plan cache",
+        )
+
     plan_cmd = commands.add_parser("plan", help="show the chosen plan")
     add_common(plan_cmd)
     plan_cmd.add_argument("--dot", action="store_true", help="emit graphviz DOT")
@@ -60,6 +74,7 @@ def build_argument_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument(
         "--explain", action="store_true", help="print EXPLAIN ANALYZE output"
     )
+    add_execution_flags(run_cmd)
 
     program_cmd = commands.add_parser(
         "program", help="run a self-contained Datalog program file "
@@ -71,6 +86,7 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="planning method (default: bucket elimination)",
     )
     program_cmd.add_argument("--seed", type=int, default=0, help="tie-break seed")
+    add_execution_flags(program_cmd)
 
     analyze_cmd = commands.add_parser(
         "analyze", help="structural report: widths, acyclicity, orders"
@@ -106,14 +122,24 @@ def _cmd_sql(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_engine(args: argparse.Namespace, database):
+    from repro.relalg.engine import DEFAULT_PLAN_CACHE_SIZE, Engine
+    from repro.relalg.joins import get_join_algorithm
+
+    return Engine(
+        database,
+        join_algorithm=get_join_algorithm(args.join_algorithm),
+        plan_cache_size=0 if args.no_plan_cache else DEFAULT_PLAN_CACHE_SIZE,
+    )
+
+
 def _cmd_program(args: argparse.Namespace) -> int:
     from repro.datalog import parse_program
-    from repro.relalg.engine import evaluate
 
     with open(args.path) as handle:
         query, database = parse_program(handle.read())
     plan = plan_query(query, args.method, rng=random.Random(args.seed))
-    result, stats = evaluate(plan, database)
+    result, stats = _make_engine(args, database).execute_with_stats(plan)
     print(result.pretty())
     print(
         f"-- {result.cardinality} rows, "
@@ -124,7 +150,6 @@ def _cmd_program(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.relalg.engine import evaluate
     from repro.relalg.io import load_database
 
     if args.db is None:
@@ -140,7 +165,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(result.render())
         print(f"-- {result.result.cardinality} rows")
         return 0
-    result, stats = evaluate(plan, database)
+    result, stats = _make_engine(args, database).execute_with_stats(plan)
     print(result.pretty())
     print(
         f"-- {result.cardinality} rows, "

@@ -51,7 +51,12 @@ from repro.core.ordering import (
     min_fill_order,
     random_order,
 )
-from repro.core.planner import METHODS, plan_query
+from repro.core.planner import (
+    METHODS,
+    canonical_plan,
+    plan_query,
+    set_plan_canonicalizer,
+)
 from repro.core.query import Atom, ConjunctiveQuery, Const
 from repro.core.reordering import greedy_atom_order, reordering_plan
 from repro.core.semijoins import (
@@ -111,6 +116,8 @@ __all__ = [
     "reordering_plan",
     "greedy_atom_order",
     "plan_query",
+    "canonical_plan",
+    "set_plan_canonicalizer",
     "METHODS",
     "AtomJoinTree",
     "gyo_reduction",

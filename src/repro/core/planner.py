@@ -39,6 +39,36 @@ METHODS: tuple[str, ...] = (
 #: Join-graph size below which ``auto`` affords exact treewidth.
 AUTO_EXACT_LIMIT = 14
 
+PlanCanonicalizer = Callable[[Plan], Plan]
+
+_canonicalizer: PlanCanonicalizer | None = None
+
+
+def set_plan_canonicalizer(
+    canonicalizer: PlanCanonicalizer | None,
+) -> PlanCanonicalizer | None:
+    """Install a hook applied to every plan :func:`plan_query` returns.
+
+    The hook maps plans to equivalent plans in a normal form — e.g.
+    :func:`repro.rewrite.normalize` — so that structurally identical
+    queries compile to byte-identical trees and the engine's
+    common-subexpression cache (keyed on
+    :func:`repro.plans.plan_key`) sees one canonical form.  Pass ``None``
+    to uninstall.  Returns the previously installed hook so callers can
+    restore it.
+    """
+    global _canonicalizer
+    previous = _canonicalizer
+    _canonicalizer = canonicalizer
+    return previous
+
+
+def canonical_plan(plan: Plan) -> Plan:
+    """Apply the installed canonicalization hook (identity when none)."""
+    if _canonicalizer is None:
+        return plan
+    return _canonicalizer(plan)
+
 
 def plan_query(
     query: ConjunctiveQuery,
@@ -66,7 +96,7 @@ def plan_query(
         Variable-ordering heuristic for ``bucket`` (``mcs`` by default).
     """
     if method == "auto":
-        return _auto_plan(query, rng=rng)
+        return canonical_plan(_auto_plan(query, rng=rng))
     builders: dict[str, Callable[[], Plan]] = {
         "straightforward": lambda: straightforward_plan(query),
         "early": lambda: early_projection_plan(query),
@@ -83,7 +113,7 @@ def plan_query(
             f"unknown planning method {method!r}; expected one of "
             f"{METHODS + ('auto',)}"
         ) from None
-    return builder()
+    return canonical_plan(builder())
 
 
 def _auto_plan(query: ConjunctiveQuery, rng: random.Random | None) -> Plan:

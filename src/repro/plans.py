@@ -139,6 +139,25 @@ def iter_nodes(plan: Plan) -> Iterator[Plan]:
     yield plan
 
 
+def plan_key(plan: Plan) -> tuple:
+    """Stable, hashable canonical key for a plan tree.
+
+    Two plans map to the same key iff they are structurally identical —
+    same operators, same shapes, same scans with the same bindings.  The
+    key is a nested tuple of plain builtins, so it is independent of
+    object identity and safe to use across processes or as a dict key;
+    the engine's common-subexpression cache keys its memo on
+    ``(plan_key(plan), database.generation)``.
+    """
+    if isinstance(plan, Scan):
+        return ("scan", plan.relation, plan.variables, plan.constants)
+    if isinstance(plan, Project):
+        return ("project", plan.columns, plan_key(plan.child))
+    if isinstance(plan, Join):
+        return ("join", plan_key(plan.left), plan_key(plan.right))
+    raise PlanError(f"unknown plan node {plan!r}")
+
+
 def plan_width(plan: Plan) -> int:
     """Maximum arity of any operator output in the plan.
 

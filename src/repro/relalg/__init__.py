@@ -13,7 +13,12 @@ Public surface:
 
 from repro.relalg.bag_engine import BagEngine, bag_evaluate
 from repro.relalg.database import Database, database_from_tuples, edge_database
-from repro.relalg.engine import Engine, evaluate, is_nonempty
+from repro.relalg.engine import (
+    DEFAULT_PLAN_CACHE_SIZE,
+    Engine,
+    evaluate,
+    is_nonempty,
+)
 from repro.relalg.io import load_database, load_relation, save_database, save_relation
 from repro.relalg.joins import (
     JOIN_ALGORITHMS,
@@ -31,6 +36,7 @@ __all__ = [
     "database_from_tuples",
     "edge_database",
     "Engine",
+    "DEFAULT_PLAN_CACHE_SIZE",
     "evaluate",
     "is_nonempty",
     "BagEngine",

@@ -51,7 +51,9 @@ class BagEngine:
         """Evaluate ``plan``; the final result is always deduplicated."""
         stats = stats if stats is not None else ExecutionStats()
         columns, rows = self._eval(plan, stats)
-        return Relation(columns, rows)
+        # Operator outputs are valid by construction; the frozenset is the
+        # outermost DISTINCT.
+        return Relation._from_trusted(tuple(columns), frozenset(rows))
 
     def execute_with_stats(self, plan: Plan) -> tuple[Relation, ExecutionStats]:
         """Evaluate ``plan``; return the result and fresh statistics."""
@@ -64,7 +66,7 @@ class BagEngine:
         self, plan: Plan, stats: ExecutionStats
     ) -> tuple[tuple[str, ...], list[Row]]:
         if isinstance(plan, Scan):
-            relation = self._scan_engine.execute(Scan(plan.relation, plan.variables, plan.constants))
+            relation = self._scan_engine.execute(plan)
             stats.scans += 1
             columns, rows = relation.columns, list(relation.rows)
         elif isinstance(plan, Project):

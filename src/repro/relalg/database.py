@@ -28,9 +28,20 @@ class Database:
 
     def __init__(self, relations: Mapping[str, Relation] | None = None) -> None:
         self._relations: dict[str, Relation] = {}
+        self._generation = 0
         if relations:
             for name, relation in relations.items():
                 self.add(name, relation)
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped by every catalog mutation.
+
+        Cached results derived from the catalog (e.g. the engine's plan
+        cache) key on this so any :meth:`add` or :meth:`replace`
+        invalidates them without explicit notification.
+        """
+        return self._generation
 
     def add(self, name: str, relation: Relation) -> None:
         """Register a relation under ``name``; re-registration is an error
@@ -40,12 +51,14 @@ class Database:
         if name in self._relations:
             raise CatalogError(f"relation {name!r} is already registered")
         self._relations[name] = relation
+        self._generation += 1
 
     def replace(self, name: str, relation: Relation) -> None:
         """Overwrite (or create) the relation registered under ``name``."""
         if not name:
             raise CatalogError("relation name must be non-empty")
         self._relations[name] = relation
+        self._generation += 1
 
     def get(self, name: str) -> Relation:
         """Look up a relation; unknown names raise

@@ -9,14 +9,18 @@ choice), and records the work counters that drive wall-clock cost.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any
 
 from repro.errors import PlanError, SchemaError
-from repro.plans import Join, Plan, Project, Scan
+from repro.plans import Join, Plan, Project, Scan, plan_key
 from repro.relalg.database import Database
 from repro.relalg.joins import JoinAlgorithm, hash_join
 from repro.relalg.relation import Relation
 from repro.relalg.stats import ExecutionStats
+
+#: Default LRU capacity (in plan subtrees) of the engine's plan cache.
+DEFAULT_PLAN_CACHE_SIZE = 256
 
 
 class Engine:
@@ -28,6 +32,14 @@ class Engine:
         Catalog of base relations.
     join_algorithm:
         Binary join implementation; defaults to hash join.
+    plan_cache_size:
+        Capacity of the common-subexpression cache: an LRU memo from
+        ``(plan_key(subtree), database.generation)`` to the subtree's
+        result relation, shared across every :meth:`execute` call on this
+        engine.  Structurally identical subtrees — within one plan or
+        across repeated executions — are evaluated once; catalog
+        mutations invalidate entries via the generation key.  Pass ``0``
+        to disable caching entirely.
 
     Examples
     --------
@@ -43,14 +55,28 @@ class Engine:
         self,
         database: Database,
         join_algorithm: JoinAlgorithm = hash_join,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
     ) -> None:
+        if plan_cache_size < 0:
+            raise ValueError(f"plan_cache_size must be >= 0, got {plan_cache_size}")
         self._database = database
         self._join = join_algorithm
+        self._cache_size = plan_cache_size
+        self._cache: OrderedDict[tuple, Relation] = OrderedDict()
 
     @property
     def database(self) -> Database:
         """The catalog this engine evaluates against."""
         return self._database
+
+    @property
+    def plan_cache_enabled(self) -> bool:
+        """Whether the common-subexpression cache is active."""
+        return self._cache_size > 0
+
+    def clear_plan_cache(self) -> None:
+        """Drop every cached subtree result."""
+        self._cache.clear()
 
     def execute(self, plan: Plan, stats: ExecutionStats | None = None) -> Relation:
         """Evaluate ``plan`` and return the result relation.
@@ -68,6 +94,15 @@ class Engine:
 
     # ------------------------------------------------------------------
     def _eval(self, plan: Plan, stats: ExecutionStats) -> Relation:
+        if self._cache_size:
+            key = (plan_key(plan), self._database.generation)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                stats.cache_hits += 1
+                stats.record_output(cached.cardinality, cached.arity, built=False)
+                return cached
+            stats.cache_misses += 1
         if isinstance(plan, Scan):
             result = self._eval_scan(plan)
             stats.scans += 1
@@ -83,6 +118,10 @@ class Engine:
         else:  # pragma: no cover - exhaustive over the Plan union
             raise PlanError(f"unknown plan node {plan!r}")
         stats.record_output(result.cardinality, result.arity)
+        if self._cache_size:
+            self._cache[key] = result
+            if len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
         return result
 
     def _eval_scan(self, scan: Scan) -> Relation:
@@ -154,12 +193,15 @@ def evaluate(
     plan: Plan,
     database: Database,
     join_algorithm: JoinAlgorithm = hash_join,
+    plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
 ) -> tuple[Relation, ExecutionStats]:
     """One-shot convenience: evaluate ``plan`` on ``database``.
 
     Returns the result relation together with its execution statistics.
     """
-    engine = Engine(database, join_algorithm=join_algorithm)
+    engine = Engine(
+        database, join_algorithm=join_algorithm, plan_cache_size=plan_cache_size
+    )
     return engine.execute_with_stats(plan)
 
 
@@ -169,4 +211,4 @@ def is_nonempty(plan: Plan, database: Database) -> bool:
     return not result.is_empty()
 
 
-__all__ = ["Engine", "evaluate", "is_nonempty"]
+__all__ = ["DEFAULT_PLAN_CACHE_SIZE", "Engine", "evaluate", "is_nonempty"]

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.relalg.relation import Relation, Row
+from repro.relalg.relation import Relation, hash_join_rows
 
 JoinAlgorithm = Callable[[Relation, Relation], Relation]
 
@@ -34,33 +34,18 @@ def _join_layout(left: Relation, right: Relation):
 
 
 def hash_join(left: Relation, right: Relation) -> Relation:
-    """Classic hash join: build on the smaller input, probe with the larger."""
+    """Classic hash join: build on the smaller input, probe with the larger.
+
+    Delegates to the single build/probe core shared with
+    :meth:`Relation.natural_join`, which consumes the relation's memoized
+    ``_key_index`` instead of rebuilding a hash table per call.
+    """
     shared, out_header, left_key, right_key, right_extra = _join_layout(left, right)
     if not shared:
         return left.natural_join(right)  # cross product path
-    if left.cardinality > right.cardinality:
-        # Build on `right`, probe with `left` — same as the symmetric case
-        # below but with the hash table on the other side.
-        index: dict[Row, list[Row]] = {}
-        for row in right.rows:
-            key = tuple(row[i] for i in right_key)
-            index.setdefault(key, []).append(row)
-        rows = set()
-        for lrow in left.rows:
-            key = tuple(lrow[i] for i in left_key)
-            for rrow in index.get(key, ()):
-                rows.add(lrow + tuple(rrow[i] for i in right_extra))
-        return Relation(out_header, rows)
-    index = {}
-    for row in left.rows:
-        key = tuple(row[i] for i in left_key)
-        index.setdefault(key, []).append(row)
-    rows = set()
-    for rrow in right.rows:
-        key = tuple(rrow[i] for i in right_key)
-        for lrow in index.get(key, ()):
-            rows.add(lrow + tuple(rrow[i] for i in right_extra))
-    return Relation(out_header, rows)
+    return Relation._from_trusted(
+        out_header, hash_join_rows(left, right, shared, right_extra)
+    )
 
 
 def sort_merge_join(left: Relation, right: Relation) -> Relation:
@@ -100,7 +85,7 @@ def sort_merge_join(left: Relation, right: Relation) -> Relation:
                 for rrow in right_sorted[j:j_end]:
                     rows.add(lrow + tuple(rrow[k] for k in right_extra))
             i, j = i_end, j_end
-    return Relation(out_header, rows)
+    return Relation._from_trusted(out_header, frozenset(rows))
 
 
 def nested_loop_join(left: Relation, right: Relation) -> Relation:
@@ -112,7 +97,7 @@ def nested_loop_join(left: Relation, right: Relation) -> Relation:
         for rrow in right.rows:
             if lkey == tuple(rrow[i] for i in right_key):
                 rows.add(lrow + tuple(rrow[i] for i in right_extra))
-    return Relation(out_header, rows)
+    return Relation._from_trusted(out_header, frozenset(rows))
 
 
 JOIN_ALGORITHMS: dict[str, JoinAlgorithm] = {

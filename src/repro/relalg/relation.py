@@ -55,7 +55,7 @@ class Relation:
     True
     """
 
-    __slots__ = ("_columns", "_rows", "_index_cache")
+    __slots__ = ("_columns", "_rows", "_index_cache", "_hash")
 
     def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[Any]] = ()) -> None:
         self._columns = _check_header(columns)
@@ -71,6 +71,25 @@ class Relation:
             materialized.add(row_tuple)
         self._rows = frozenset(materialized)
         self._index_cache: dict[tuple[str, ...], dict[Row, list[Row]]] = {}
+        self._hash: int | None = None
+
+    @classmethod
+    def _from_trusted(cls, header: tuple[str, ...], rows: frozenset[Row]) -> "Relation":
+        """Trusted fast-path constructor used by the algebra operators.
+
+        ``header`` must be an already-validated tuple of distinct column
+        names and ``rows`` a frozenset of tuples whose arity matches the
+        header; neither is re-checked.  Operator outputs are valid by
+        construction, so routing them through this constructor skips the
+        per-row arity check and set re-materialization that the public
+        constructor performs for untrusted input.
+        """
+        self = cls.__new__(cls)
+        self._columns = header
+        self._rows = rows
+        self._index_cache = {}
+        self._hash = None
+        return self
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -137,7 +156,21 @@ class Relation:
         return self._rows == reordered._rows
 
     def __hash__(self) -> int:
-        return hash((frozenset(self._columns), len(self._rows)))
+        """Hash consistent with :meth:`__eq__`: invariant under column
+        permutation, and sensitive to the actual row set (so dicts keyed
+        on relations do not collapse same-arity/same-cardinality
+        relations into one bucket).  Computed once and cached — relations
+        are immutable."""
+        cached = self._hash
+        if cached is not None:
+            return cached
+        order = sorted(range(len(self._columns)), key=self._columns.__getitem__)
+        canonical_rows = frozenset(
+            tuple(row[i] for i in order) for row in self._rows
+        )
+        result = hash((frozenset(self._columns), canonical_rows))
+        self._hash = result
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Relation(columns={self._columns!r}, cardinality={len(self._rows)})"
@@ -151,9 +184,11 @@ class Relation:
         The output header follows the order given in ``columns``.
         """
         header = _check_header(columns)
+        if header == self._columns:
+            return self
         positions = [self.column_index(name) for name in header]
-        new_rows = {tuple(row[i] for i in positions) for row in self._rows}
-        return Relation(header, new_rows)
+        new_rows = frozenset(tuple(row[i] for i in positions) for row in self._rows)
+        return Relation._from_trusted(header, new_rows)
 
     def project_out(self, columns: Iterable[str]) -> "Relation":
         """Project *away* the given columns, keeping all others in order.
@@ -175,8 +210,10 @@ class Relation:
         """
         for old in mapping:
             self.column_index(old)
-        header = tuple(mapping.get(name, name) for name in self._columns)
-        return Relation(header, self._rows)
+        header = _check_header(mapping.get(name, name) for name in self._columns)
+        if header == self._columns:
+            return self
+        return Relation._from_trusted(header, self._rows)
 
     def reorder(self, columns: Sequence[str]) -> "Relation":
         """Return the same relation with columns permuted to ``columns``."""
@@ -185,28 +222,41 @@ class Relation:
             raise SchemaError(
                 f"reorder target {header!r} is not a permutation of {self._columns!r}"
             )
+        if header == self._columns:
+            return self
         positions = [self.column_index(name) for name in header]
-        new_rows = {tuple(row[i] for i in positions) for row in self._rows}
-        return Relation(header, new_rows)
+        new_rows = frozenset(tuple(row[i] for i in positions) for row in self._rows)
+        return Relation._from_trusted(header, new_rows)
 
     def select(self, predicate: Callable[[Mapping[str, Any]], bool]) -> "Relation":
         """Select rows satisfying ``predicate``, which receives a dict view
         of each row keyed by column name."""
         header = self._columns
-        kept = [
+        kept = frozenset(
             row for row in self._rows if predicate(dict(zip(header, row)))
-        ]
-        return Relation(header, kept)
+        )
+        return self._filtered(kept)
 
     def select_eq(self, column: str, value: Any) -> "Relation":
         """Select rows where ``column`` equals ``value``."""
         i = self.column_index(column)
-        return Relation(self._columns, (row for row in self._rows if row[i] == value))
+        return self._filtered(
+            frozenset(row for row in self._rows if row[i] == value)
+        )
 
     def select_col_eq(self, left: str, right: str) -> "Relation":
         """Select rows where two columns are equal (a self-equality filter)."""
         i, j = self.column_index(left), self.column_index(right)
-        return Relation(self._columns, (row for row in self._rows if row[i] == row[j]))
+        return self._filtered(
+            frozenset(row for row in self._rows if row[i] == row[j])
+        )
+
+    def _filtered(self, kept: frozenset[Row]) -> "Relation":
+        """Result of a selection: reuse ``self`` (and its index cache) when
+        nothing was filtered out, otherwise build trusted."""
+        if len(kept) == len(self._rows):
+            return self
+        return Relation._from_trusted(self._columns, kept)
 
     # ------------------------------------------------------------------
     # Binary operations
@@ -240,29 +290,15 @@ class Relation:
             if name not in shared
         ]
         if not shared:
-            rows = {
+            rows = frozenset(
                 left + tuple(right[i] for i in other_extra)
                 for left in self._rows
                 for right in other._rows
-            }
-            return Relation(out_header, rows)
-        # Build the hash index on the smaller operand.
-        if self.cardinality <= other.cardinality:
-            index = self._key_index(shared)
-            probe, probe_is_left = other, False
-        else:
-            index = other._key_index(shared)
-            probe, probe_is_left = self, True
-        probe_positions = [probe.column_index(name) for name in shared]
-        rows = set()
-        for probe_row in probe._rows:
-            key = tuple(probe_row[i] for i in probe_positions)
-            for match in index.get(key, ()):
-                left, right = (
-                    (probe_row, match) if probe_is_left else (match, probe_row)
-                )
-                rows.add(left + tuple(right[i] for i in other_extra))
-        return Relation(out_header, rows)
+            )
+            return Relation._from_trusted(out_header, rows)
+        return Relation._from_trusted(
+            out_header, hash_join_rows(self, other, shared, other_extra)
+        )
 
     def semijoin(self, other: "Relation") -> "Relation":
         """Rows of ``self`` that join with at least one row of ``other``.
@@ -274,38 +310,35 @@ class Relation:
         shared = tuple(name for name in self._columns if name in other._columns)
         if not shared:
             return self if not other.is_empty() else Relation(self._columns)
-        other_keys = {
-            tuple(row[i] for i in (other.column_index(name) for name in shared))
-            for row in other._rows
-        }
+        other_keys = other._key_index(shared).keys()
         positions = [self.column_index(name) for name in shared]
-        kept = [
+        kept = frozenset(
             row
             for row in self._rows
             if tuple(row[i] for i in positions) in other_keys
-        ]
-        return Relation(self._columns, kept)
+        )
+        return self._filtered(kept)
 
     def antijoin(self, other: "Relation") -> "Relation":
         """Rows of ``self`` that join with *no* row of ``other``."""
         matched = self.semijoin(other)
-        return Relation(self._columns, self._rows - matched.rows)
+        return self._filtered(self._rows - matched.rows)
 
     def union(self, other: "Relation") -> "Relation":
         """Set union; the other relation's columns may be in any order but
         must be the same set of names."""
         aligned = other.reorder(self._columns)
-        return Relation(self._columns, self._rows | aligned.rows)
+        return Relation._from_trusted(self._columns, self._rows | aligned.rows)
 
     def difference(self, other: "Relation") -> "Relation":
         """Set difference ``self - other`` (schemas must match as sets)."""
         aligned = other.reorder(self._columns)
-        return Relation(self._columns, self._rows - aligned.rows)
+        return Relation._from_trusted(self._columns, self._rows - aligned.rows)
 
     def intersection(self, other: "Relation") -> "Relation":
         """Set intersection (schemas must match as sets)."""
         aligned = other.reorder(self._columns)
-        return Relation(self._columns, self._rows & aligned.rows)
+        return Relation._from_trusted(self._columns, self._rows & aligned.rows)
 
     def cross(self, other: "Relation") -> "Relation":
         """Cartesian product; column names must be disjoint."""
@@ -315,8 +348,10 @@ class Relation:
                 f"cross product requires disjoint headers; shared columns {sorted(overlap)!r}"
             )
         header = self._columns + other._columns
-        rows = {left + right for left in self._rows for right in other._rows}
-        return Relation(header, rows)
+        rows = frozenset(
+            left + right for left in self._rows for right in other._rows
+        )
+        return Relation._from_trusted(header, rows)
 
     # ------------------------------------------------------------------
     # Convenience constructors / formatting
@@ -345,3 +380,36 @@ class Relation:
         body = "\n".join(" | ".join(str(v) for v in row) for row in body_rows)
         suffix = "" if len(self._rows) <= max_rows else f"\n... ({len(self._rows)} rows total)"
         return f"{header}\n{rule}\n{body}{suffix}"
+
+
+def hash_join_rows(
+    left: Relation,
+    right: Relation,
+    shared: tuple[str, ...],
+    right_extra: Sequence[int],
+) -> frozenset[Row]:
+    """Build/probe core shared by :meth:`Relation.natural_join` and
+    :func:`repro.relalg.joins.hash_join`.
+
+    Builds the hash index on the smaller operand via the memoized
+    :meth:`Relation._key_index` (so a relation joined repeatedly pays for
+    its index once) and probes with the larger, emitting output rows as
+    ``left_row + right_extra_values`` regardless of which side was the
+    build side.  ``shared`` must be non-empty; ``right_extra`` holds the
+    positions of the right operand's non-shared columns.
+    """
+    if left.cardinality <= right.cardinality:
+        build, probe, probe_is_left = left, right, False
+    else:
+        build, probe, probe_is_left = right, left, True
+    index = build._key_index(shared)
+    probe_positions = [probe.column_index(name) for name in shared]
+    rows = set()
+    for probe_row in probe.rows:
+        key = tuple(probe_row[i] for i in probe_positions)
+        for match in index.get(key, ()):
+            left_row, right_row = (
+                (probe_row, match) if probe_is_left else (match, probe_row)
+            )
+            rows.add(left_row + tuple(right_row[i] for i in right_extra))
+    return frozenset(rows)

@@ -36,6 +36,16 @@ class ExecutionStats:
     peak_live_tuples:
         Upper bound on tuples simultaneously alive (approximated as the
         largest sum of operand + output cardinalities of one operation).
+    cache_hits:
+        Plan-cache hits: subtrees whose result was served from the
+        engine's common-subexpression cache instead of being re-executed.
+    cache_misses:
+        Plan-cache misses: subtrees that were actually executed while the
+        cache was enabled (zero when the cache is disabled).
+    rows_built:
+        Rows physically materialized by operators (cache hits contribute
+        to ``total_intermediate_tuples`` but not here, so the gap between
+        the two counters is the work the cache saved).
     """
 
     joins: int = 0
@@ -45,11 +55,20 @@ class ExecutionStats:
     max_intermediate_cardinality: int = 0
     max_intermediate_arity: int = 0
     peak_live_tuples: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    rows_built: int = 0
     _arity_trace: list[int] = field(default_factory=list, repr=False)
 
-    def record_output(self, cardinality: int, arity: int) -> None:
-        """Record one operator output of the given size and width."""
+    def record_output(self, cardinality: int, arity: int, built: bool = True) -> None:
+        """Record one operator output of the given size and width.
+
+        ``built=False`` marks an output served from cache: it still counts
+        as a logical intermediate but not toward :attr:`rows_built`.
+        """
         self.total_intermediate_tuples += cardinality
+        if built:
+            self.rows_built += cardinality
         if cardinality > self.max_intermediate_cardinality:
             self.max_intermediate_cardinality = cardinality
         if arity > self.max_intermediate_arity:
@@ -81,6 +100,9 @@ class ExecutionStats:
             self.max_intermediate_arity, other.max_intermediate_arity
         )
         self.peak_live_tuples = max(self.peak_live_tuples, other.peak_live_tuples)
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.rows_built += other.rows_built
         self._arity_trace.extend(other._arity_trace)
 
     def summary(self) -> dict[str, int]:
@@ -93,4 +115,7 @@ class ExecutionStats:
             "max_intermediate_cardinality": self.max_intermediate_cardinality,
             "max_intermediate_arity": self.max_intermediate_arity,
             "peak_live_tuples": self.peak_live_tuples,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "rows_built": self.rows_built,
         }

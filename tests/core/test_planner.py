@@ -126,3 +126,30 @@ class TestAutoMethod:
         auto_width = plan_width(plan_query(pentagon_instance.query, "auto"))
         mcs_width = plan_width(plan_query(pentagon_instance.query, "bucket"))
         assert auto_width <= mcs_width
+
+
+class TestCanonicalizerHook:
+    def test_hook_applied_and_restorable(self, pentagon_instance):
+        from repro.core.planner import canonical_plan, set_plan_canonicalizer
+        from repro.rewrite import normalize
+
+        seen = []
+
+        def hook(plan):
+            seen.append(plan)
+            return normalize(plan)
+
+        previous = set_plan_canonicalizer(hook)
+        try:
+            plan = plan_query(pentagon_instance.query, "bucket")
+            assert seen, "hook was not applied by plan_query"
+            assert plan == normalize(seen[-1])
+            assert canonical_plan(seen[-1]) == plan
+        finally:
+            set_plan_canonicalizer(previous)
+
+    def test_no_hook_is_identity(self, pentagon_instance):
+        from repro.core.planner import canonical_plan
+
+        plan = plan_query(pentagon_instance.query, "bucket")
+        assert canonical_plan(plan) is plan

@@ -85,3 +85,25 @@ class TestEdgeDatabase:
 def test_database_from_tuples():
     db = database_from_tuples({"r": (("a", "b"), [(1, 2)])})
     assert db["r"].columns == ("a", "b")
+
+
+class TestGeneration:
+    def test_add_bumps_generation(self):
+        db = Database()
+        start = db.generation
+        db.add("r", Relation(("a",), [(1,)]))
+        assert db.generation == start + 1
+
+    def test_replace_bumps_generation(self):
+        db = database_from_tuples({"r": (("a",), [(1,)])})
+        before = db.generation
+        db.replace("r", Relation(("a",), [(2,)]))
+        assert db.generation == before + 1
+
+    def test_lookups_do_not_bump(self):
+        db = database_from_tuples({"r": (("a",), [(1,)])})
+        before = db.generation
+        db.get("r")
+        "r" in db
+        db.names()
+        assert db.generation == before

@@ -1,0 +1,114 @@
+"""The engine's common-subexpression (plan) cache.
+
+Covers the acceptance properties of the fast-path layer: cache on/off
+never changes results (across all five planning methods), repeated
+evaluation of a bucket-elimination plan produces cache hits, catalog
+mutations invalidate via the generation key, and the LRU bound holds.
+"""
+
+import random
+
+import pytest
+
+from repro.core.planner import METHODS, plan_query
+from repro.datalog import parse_rule
+from repro.plans import Join, Project, Scan
+from repro.relalg.database import edge_database
+from repro.relalg.engine import Engine
+from repro.relalg.relation import Relation
+from repro.relalg.stats import ExecutionStats
+
+RULE = "q(A) :- edge(A, B), edge(B, C), edge(C, D)."
+
+
+@pytest.fixture
+def db():
+    return edge_database()
+
+
+@pytest.fixture
+def query():
+    return parse_rule(RULE)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_cache_on_off_identical_results(db, query, method):
+    plan = plan_query(query, method, rng=random.Random(0))
+    cached = Engine(db).execute(plan)
+    uncached = Engine(db, plan_cache_size=0).execute(plan)
+    assert cached == uncached
+    # Repeated execution through the cache also returns the same answer.
+    engine = Engine(db)
+    assert engine.execute(plan) == uncached
+    assert engine.execute(plan) == uncached
+
+
+def test_bucket_plan_records_cache_hits(db, query):
+    plan = plan_query(query, "bucket", rng=random.Random(0))
+    engine = Engine(db)
+    first = ExecutionStats()
+    engine.execute(plan, stats=first)
+    assert first.cache_hits == 0
+    assert first.cache_misses > 0
+    assert first.rows_built == first.total_intermediate_tuples
+
+    second = ExecutionStats()
+    result = engine.execute(plan, stats=second)
+    assert second.cache_hits > 0
+    assert second.rows_built == 0
+    assert result == Engine(db, plan_cache_size=0).execute(plan)
+
+
+def test_shared_subtree_evaluated_once(db):
+    scan = Scan("edge", ("a", "b"))
+    plan = Join(scan, scan)
+    stats = ExecutionStats()
+    Engine(db).execute(plan, stats=stats)
+    assert stats.scans == 1
+    assert stats.cache_hits == 1
+
+
+def test_disabled_cache_reports_no_cache_traffic(db, query):
+    plan = plan_query(query, "bucket", rng=random.Random(0))
+    engine = Engine(db, plan_cache_size=0)
+    stats = ExecutionStats()
+    engine.execute(plan, stats=stats)
+    engine.execute(plan, stats=stats)
+    assert stats.cache_hits == 0
+    assert stats.cache_misses == 0
+    assert stats.rows_built == stats.total_intermediate_tuples
+
+
+def test_catalog_mutation_invalidates(db):
+    plan = Scan("edge", ("x", "y"))
+    engine = Engine(db)
+    before = engine.execute(plan)
+    assert before.cardinality == 6
+    db.replace("edge", Relation(("u", "w"), [(1, 2)]))
+    after = engine.execute(plan)
+    assert after.cardinality == 1
+
+
+def test_lru_bound_holds(db):
+    engine = Engine(db, plan_cache_size=2)
+    for i in range(5):
+        engine.execute(Scan("edge", (f"v{i}", "w")))
+    assert len(engine._cache) <= 2
+
+
+def test_clear_plan_cache(db):
+    engine = Engine(db)
+    engine.execute(Scan("edge", ("x", "y")))
+    assert len(engine._cache) > 0
+    engine.clear_plan_cache()
+    assert len(engine._cache) == 0
+
+
+def test_negative_cache_size_rejected(db):
+    with pytest.raises(ValueError):
+        Engine(db, plan_cache_size=-1)
+
+
+def test_plan_cache_enabled_property(db):
+    assert Engine(db).plan_cache_enabled
+    assert not Engine(db, plan_cache_size=0).plan_cache_enabled

@@ -105,6 +105,34 @@ class TestEquality:
         assert Relation(("a",), [(1,)]) != "not a relation"
 
 
+class TestHash:
+    def test_equal_relations_hash_equal(self):
+        assert hash(Relation(("a", "b"), [(1, 2)])) == hash(
+            Relation(("a", "b"), [(1, 2)])
+        )
+
+    def test_reordered_columns_hash_equal(self):
+        left = Relation(("a", "b"), [(1, 2), (3, 4)])
+        right = Relation(("b", "a"), [(2, 1), (4, 3)])
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_same_shape_different_rows_hash_differently(self):
+        """Same arity and cardinality but different rows must not collide
+        (the old hash ignored row contents entirely)."""
+        left = Relation(("a", "b"), [(1, 2)])
+        right = Relation(("a", "b"), [(3, 4)])
+        assert hash(left) != hash(right)
+
+    def test_usable_as_dict_key(self):
+        relations = [
+            Relation(("a",), [(value,)]) for value in range(20)
+        ]
+        memo = {relation: i for i, relation in enumerate(relations)}
+        assert len(memo) == 20
+        assert memo[Relation(("a",), [(7,)])] == 7
+
+
 class TestProjection:
     def test_project_subset(self, small_relation):
         p = small_relation.project(["u"])

@@ -49,6 +49,9 @@ def test_summary_is_plain_ints():
         "max_intermediate_cardinality",
         "max_intermediate_arity",
         "peak_live_tuples",
+        "cache_hits",
+        "cache_misses",
+        "rows_built",
     }
 
 

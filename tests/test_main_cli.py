@@ -64,6 +64,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "3 rows" in out
 
+    @pytest.mark.parametrize("algorithm", ["hash", "sort_merge", "nested_loop"])
+    def test_run_join_algorithm_flag(self, capsys, db_dir, algorithm):
+        assert main(
+            ["run", RULE, "--db", db_dir, "--join-algorithm", algorithm]
+        ) == 0
+        assert "3 rows" in capsys.readouterr().out
+
+    def test_run_no_plan_cache_flag(self, capsys, db_dir):
+        assert main(["run", RULE, "--db", db_dir, "--no-plan-cache"]) == 0
+        assert "3 rows" in capsys.readouterr().out
+
+    def test_run_unknown_join_algorithm_rejected(self, db_dir):
+        with pytest.raises(SystemExit):
+            main(["run", RULE, "--db", db_dir, "--join-algorithm", "nope"])
+
     def test_run_explain(self, capsys, db_dir):
         assert main(["run", RULE, "--db", db_dir, "--explain"]) == 0
         out = capsys.readouterr().out
@@ -111,3 +126,14 @@ class TestProgramCommand:
     def test_run_without_db_errors(self, capsys):
         assert main(["run", RULE]) == 2
         assert "required" in capsys.readouterr().err
+
+    def test_program_execution_flags(self, capsys, tmp_path):
+        path = tmp_path / "p.dl"
+        path.write_text(
+            "edge(1, 2). edge(2, 3). edge(3, 1).\n"
+            "q(X) :- edge(X, Y), edge(Y, Z), edge(Z, X).\n"
+        )
+        assert main(
+            ["program", str(path), "--join-algorithm", "sort_merge", "--no-plan-cache"]
+        ) == 0
+        assert "3 rows" in capsys.readouterr().out

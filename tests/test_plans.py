@@ -11,6 +11,7 @@ from repro.plans import (
     count_scans,
     iter_nodes,
     left_deep_join,
+    plan_key,
     plan_variables,
     plan_width,
     pretty_plan,
@@ -118,6 +119,40 @@ class TestLeftDeepJoin:
     def test_empty_rejected(self):
         with pytest.raises(PlanError):
             left_deep_join([])
+
+
+class TestPlanKey:
+    def test_structurally_identical_plans_share_a_key(self, chain):
+        twin = Join(Scan("edge", ("a", "b")), Scan("edge", ("b", "c")))
+        assert plan_key(chain) == plan_key(twin)
+        assert hash(plan_key(chain)) == hash(plan_key(twin))
+
+    def test_different_bindings_differ(self):
+        assert plan_key(Scan("edge", ("a", "b"))) != plan_key(
+            Scan("edge", ("a", "c"))
+        )
+
+    def test_constants_distinguish(self):
+        assert plan_key(Scan("r", ("x",), constants=((1, 5),))) != plan_key(
+            Scan("r", ("x",), constants=((1, 6),))
+        )
+
+    def test_join_order_distinguishes(self):
+        a, b = Scan("edge", ("a", "b")), Scan("edge", ("b", "c"))
+        assert plan_key(Join(a, b)) != plan_key(Join(b, a))
+
+    def test_operator_shape_distinguishes(self, chain):
+        assert plan_key(chain) != plan_key(Project(chain, ("a",)))
+
+    def test_key_is_plain_builtins(self, chain):
+        def check(value):
+            if isinstance(value, tuple):
+                for item in value:
+                    check(item)
+            else:
+                assert isinstance(value, (str, int)), value
+
+        check(plan_key(Project(chain, ("a",))))
 
 
 class TestValidateAndPretty:
