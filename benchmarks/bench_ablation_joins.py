@@ -11,10 +11,9 @@ import random
 import pytest
 
 from repro.core.planner import plan_query
-from repro.relalg.engine import Engine
 from repro.relalg.joins import JOIN_ALGORITHMS
 
-from conftest import color_workload
+from conftest import color_workload, execution_engine
 
 ALGORITHMS = sorted(JOIN_ALGORITHMS)
 
@@ -23,7 +22,7 @@ ALGORITHMS = sorted(JOIN_ALGORITHMS)
 def test_bucket_plan_join_algorithms(benchmark, algorithm):
     query, database = color_workload(12, 3.0)
     plan = plan_query(query, "bucket", rng=random.Random(0))
-    engine = Engine(database, join_algorithm=JOIN_ALGORITHMS[algorithm])
+    engine = execution_engine(database, join_algorithm=JOIN_ALGORITHMS[algorithm])
     benchmark.group = "ablation join algorithm, bucket plan n=12 d=3.0"
     benchmark(lambda: engine.execute(plan))
 
@@ -32,6 +31,6 @@ def test_bucket_plan_join_algorithms(benchmark, algorithm):
 def test_straightforward_plan_join_algorithms(benchmark, algorithm):
     query, database = color_workload(9, 2.0)
     plan = plan_query(query, "straightforward", rng=random.Random(0))
-    engine = Engine(database, join_algorithm=JOIN_ALGORITHMS[algorithm])
+    engine = execution_engine(database, join_algorithm=JOIN_ALGORITHMS[algorithm])
     benchmark.group = "ablation join algorithm, straightforward plan n=9 d=2.0"
     benchmark(lambda: engine.execute(plan))

@@ -12,14 +12,14 @@ import pytest
 from repro.core.minibuckets import mini_bucket_plan
 from repro.relalg.engine import Engine
 
-from conftest import color_workload
+from conftest import color_workload, execution_engine
 
 
 @pytest.mark.parametrize("ibound", [2, 3, 4, 99])
 def test_ibound_sweep(benchmark, ibound):
     query, database = color_workload(12, 4.0)
     mb = mini_bucket_plan(query, ibound=ibound, rng=random.Random(0))
-    engine = Engine(database)
+    engine = execution_engine(database)
     benchmark.group = "ablation minibuckets, n=12 d=4.0"
     result = benchmark(lambda: engine.execute(mb.plan))
     if mb.exact:

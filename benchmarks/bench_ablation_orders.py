@@ -11,9 +11,8 @@ import random
 import pytest
 
 from repro.core.buckets import bucket_elimination_plan
-from repro.relalg.engine import Engine
 
-from conftest import color_workload, structured_workload
+from conftest import color_workload, execution_engine, structured_workload
 
 HEURISTICS = ["mcs", "min_degree", "min_fill", "random"]
 
@@ -24,7 +23,7 @@ def test_random_graph_ordering(benchmark, heuristic):
     plan = bucket_elimination_plan(
         query, heuristic=heuristic, rng=random.Random(0)
     ).plan
-    engine = Engine(database)
+    engine = execution_engine(database)
     benchmark.group = "ablation ordering, random graph n=12 d=2.5"
     benchmark(lambda: engine.execute(plan))
 
@@ -35,7 +34,7 @@ def test_circular_ladder_ordering(benchmark, heuristic):
     plan = bucket_elimination_plan(
         query, heuristic=heuristic, rng=random.Random(0)
     ).plan
-    engine = Engine(database)
+    engine = execution_engine(database)
     benchmark.group = "ablation ordering, augcircladder order=5"
     benchmark(lambda: engine.execute(plan))
 

@@ -15,7 +15,7 @@ from repro.core.planner import plan_query
 from repro.relalg.engine import Engine
 from repro.rewrite import normalize
 
-from conftest import structured_workload
+from conftest import execution_engine, structured_workload
 
 VARIANTS = ["straightforward", "normalized", "early", "bucket"]
 
@@ -30,7 +30,7 @@ def _plan_for(variant: str, query):
 def test_execution_after_rewriting(benchmark, variant):
     query, database = structured_workload("augmented_path", 6)
     plan = _plan_for(variant, query)
-    engine = Engine(database)
+    engine = execution_engine(database)
     benchmark.group = "ablation rewrite, augpath order=6"
     result = benchmark(lambda: engine.execute(plan))
     reference = Engine(database).execute(plan_query(query, "bucket"))

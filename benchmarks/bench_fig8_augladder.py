@@ -6,6 +6,8 @@ at the orders they can handle and let early projection / bucket
 elimination carry the larger points.
 """
 
+import random
+
 import pytest
 
 from conftest import bench_execution, structured_workload
@@ -41,6 +43,24 @@ def test_bucket_scales_further(benchmark, order):
         benchmark, f"fig8 augladder order={order} (bucket only)",
         "bucket", query, database,
     )
+
+
+def test_bucket_warm_plan_cache(benchmark):
+    """NOT an execution benchmark: measures a warm plan-cache lookup of
+    the order-9 bucket plan, the memoized repeated-execution path.  The
+    gap between this point and the cold `order=9 (bucket only)` point
+    above is the plan cache's win; keep them labeled apart so the
+    execution trend stays honest."""
+    from repro.core.planner import plan_query
+    from repro.relalg.engine import Engine
+
+    query, database = structured_workload("augmented_ladder", 9)
+    plan = plan_query(query, "bucket", rng=random.Random(0))
+    engine = Engine(database)  # default cache, deliberately left warm
+    engine.execute(plan)
+    benchmark.group = "fig8 augladder order=9 (warm plan cache, memoized)"
+    result = benchmark(lambda: engine.execute(plan))
+    assert result == Engine(database, plan_cache_size=0).execute(plan)
 
 
 @pytest.mark.parametrize("method", ["early", "bucket"])

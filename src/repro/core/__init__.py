@@ -54,6 +54,7 @@ from repro.core.ordering import (
 from repro.core.planner import (
     METHODS,
     canonical_plan,
+    plan_canonicalizer,
     plan_query,
     set_plan_canonicalizer,
 )
@@ -117,6 +118,7 @@ __all__ = [
     "greedy_atom_order",
     "plan_query",
     "canonical_plan",
+    "plan_canonicalizer",
     "set_plan_canonicalizer",
     "METHODS",
     "AtomJoinTree",

@@ -16,7 +16,8 @@ executable :mod:`repro.plans` tree using any of:
 from __future__ import annotations
 
 import random
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
 from typing import Callable
 
 from repro.core.buckets import bucket_elimination_plan
@@ -56,11 +57,35 @@ def set_plan_canonicalizer(
     :func:`repro.plans.plan_key`) sees one canonical form.  Pass ``None``
     to uninstall.  Returns the previously installed hook so callers can
     restore it.
+
+    The hook is process-global state; callers that install one
+    temporarily should prefer the :func:`plan_canonicalizer` context
+    manager, which restores the previous hook even on error.
     """
     global _canonicalizer
     previous = _canonicalizer
     _canonicalizer = canonicalizer
     return previous
+
+
+@contextmanager
+def plan_canonicalizer(
+    canonicalizer: PlanCanonicalizer | None,
+) -> Iterator[PlanCanonicalizer | None]:
+    """Install a canonicalization hook for the duration of a ``with``
+    block, restoring whatever hook was active before — the safe way to
+    use :func:`set_plan_canonicalizer` without leaking the global hook
+    across tests or library callers.
+
+    >>> from repro.rewrite import normalize
+    >>> with plan_canonicalizer(normalize):
+    ...     _ = plan_query(parse_rule("q(A) :- edge(A, B)."))  # doctest: +SKIP
+    """
+    previous = set_plan_canonicalizer(canonicalizer)
+    try:
+        yield canonicalizer
+    finally:
+        set_plan_canonicalizer(previous)
 
 
 def canonical_plan(plan: Plan) -> Plan:

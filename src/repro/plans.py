@@ -21,6 +21,7 @@ here statically, without evaluating anything.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Iterator, Union
 
 from repro.errors import PlanError
@@ -139,6 +140,7 @@ def iter_nodes(plan: Plan) -> Iterator[Plan]:
     yield plan
 
 
+@lru_cache(maxsize=None)
 def plan_key(plan: Plan) -> tuple:
     """Stable, hashable canonical key for a plan tree.
 
@@ -146,8 +148,10 @@ def plan_key(plan: Plan) -> tuple:
     same operators, same shapes, same scans with the same bindings.  The
     key is a nested tuple of plain builtins, so it is independent of
     object identity and safe to use across processes or as a dict key;
-    the engine's common-subexpression cache keys its memo on
-    ``(plan_key(plan), database.generation)``.
+    the engine's common-subexpression cache keys its memo on it
+    (dropping the whole memo when ``database.generation`` changes).
+    Plans are immutable, so the key is memoized: repeated executions of
+    the same tree pay the tuple construction once per distinct subtree.
     """
     if isinstance(plan, Scan):
         return ("scan", plan.relation, plan.variables, plan.constants)

@@ -10,7 +10,6 @@ choice), and records the work counters that drive wall-clock cost.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any
 
 from repro.errors import PlanError, SchemaError
 from repro.plans import Join, Plan, Project, Scan, plan_key
@@ -34,12 +33,17 @@ class Engine:
         Binary join implementation; defaults to hash join.
     plan_cache_size:
         Capacity of the common-subexpression cache: an LRU memo from
-        ``(plan_key(subtree), database.generation)`` to the subtree's
-        result relation, shared across every :meth:`execute` call on this
-        engine.  Structurally identical subtrees — within one plan or
-        across repeated executions — are evaluated once; catalog
-        mutations invalidate entries via the generation key.  Pass ``0``
-        to disable caching entirely.
+        ``plan_key(subtree)`` to the subtree's result relation, shared
+        across every :meth:`execute` call on this engine.  Structurally
+        identical subtrees — within one plan or across repeated
+        executions — are evaluated once; any catalog mutation (observed
+        via ``database.generation``) drops the whole cache, so stale
+        results are never served *or* pinned.  Each entry also carries a
+        snapshot of the stats its subtree accumulated when first
+        evaluated, replayed on every hit: the logical work counters in
+        :class:`ExecutionStats` are identical whether or not the cache
+        is warm, and only ``rows_built`` (plus the hit/miss counters)
+        reflects cache state.  Pass ``0`` to disable caching entirely.
 
     Examples
     --------
@@ -62,7 +66,8 @@ class Engine:
         self._database = database
         self._join = join_algorithm
         self._cache_size = plan_cache_size
-        self._cache: OrderedDict[tuple, Relation] = OrderedDict()
+        self._cache: OrderedDict[tuple, tuple[Relation, ExecutionStats]] = OrderedDict()
+        self._cache_generation = database.generation
 
     @property
     def database(self) -> Database:
@@ -84,25 +89,58 @@ class Engine:
         If ``stats`` is provided, work counters are accumulated into it.
         """
         stats = stats if stats is not None else ExecutionStats()
+        self._check_generation()
         return self._eval(plan, stats)
 
     def execute_with_stats(self, plan: Plan) -> tuple[Relation, ExecutionStats]:
         """Evaluate ``plan``; return both the result and fresh stats."""
         stats = ExecutionStats()
+        self._check_generation()
         result = self._eval(plan, stats)
         return result, stats
 
     # ------------------------------------------------------------------
+    def _check_generation(self) -> None:
+        """Drop the whole cache when the catalog has mutated since the
+        last execution, so stale entries are neither served nor pinned
+        awaiting LRU eviction."""
+        generation = self._database.generation
+        if generation != self._cache_generation:
+            self._cache.clear()
+            self._cache_generation = generation
+
     def _eval(self, plan: Plan, stats: ExecutionStats) -> Relation:
-        if self._cache_size:
-            key = (plan_key(plan), self._database.generation)
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._cache.move_to_end(key)
-                stats.cache_hits += 1
-                stats.record_output(cached.cardinality, cached.arity, built=False)
-                return cached
-            stats.cache_misses += 1
+        if not self._cache_size:
+            return self._eval_node(plan, stats)
+        key = plan_key(plan)
+        entry = self._cache.get(key)
+        if entry is not None:
+            self._cache.move_to_end(key)
+            result, snapshot = entry
+            stats.cache_hits += 1
+            # Replay the subtree's logical work counters so stats match a
+            # cache-free evaluation; the snapshot's rows_built and cache
+            # counters are zeroed, so only those reflect cache state.
+            stats.merge(snapshot)
+            return result
+        stats.cache_misses += 1
+        subtree = ExecutionStats()
+        result = self._eval_node(plan, subtree)
+        stats.merge(subtree)
+        # The subtree stats become the entry's replay snapshot: logical
+        # counters are kept so a hit reports the same plan cost as an
+        # uncached evaluation; rows_built and the cache counters are
+        # zeroed because a hit materializes nothing and hit/miss events
+        # are recorded per lookup, not replayed.
+        subtree.rows_built = 0
+        subtree.cache_hits = 0
+        subtree.cache_misses = 0
+        self._cache[key] = (result, subtree)
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return result
+
+    def _eval_node(self, plan: Plan, stats: ExecutionStats) -> Relation:
         if isinstance(plan, Scan):
             result = self._eval_scan(plan)
             stats.scans += 1
@@ -118,10 +156,6 @@ class Engine:
         else:  # pragma: no cover - exhaustive over the Plan union
             raise PlanError(f"unknown plan node {plan!r}")
         stats.record_output(result.cardinality, result.arity)
-        if self._cache_size:
-            self._cache[key] = result
-            if len(self._cache) > self._cache_size:
-                self._cache.popitem(last=False)
         return result
 
     def _eval_scan(self, scan: Scan) -> Relation:

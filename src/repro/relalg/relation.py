@@ -18,11 +18,32 @@ inputs.  Set semantics matches the paper's SQL, which applies
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
+from operator import itemgetter
 from typing import Any, Callable
 
 from repro.errors import SchemaError
 
 Row = tuple[Any, ...]
+
+
+def _key_getter(positions: Sequence[int]) -> Callable[[Row], Any]:
+    """Extractor for hash keys: the bare value for a single position (no
+    per-row tuple allocation), a tuple for several.  Every key-index
+    producer and consumer must build keys through this one helper so the
+    two representations never mix."""
+    if len(positions) == 1:
+        return itemgetter(positions[0])
+    return itemgetter(*positions)
+
+
+def _tuple_getter(positions: Sequence[int]) -> Callable[[Row], Row]:
+    """Extractor that always yields a tuple, for building output rows."""
+    if not positions:
+        return lambda row: ()
+    if len(positions) == 1:
+        position = positions[0]
+        return lambda row: (row[position],)
+    return itemgetter(*positions)
 
 
 def _check_header(columns: Sequence[str]) -> tuple[str, ...]:
@@ -70,7 +91,7 @@ class Relation:
                 )
             materialized.add(row_tuple)
         self._rows = frozenset(materialized)
-        self._index_cache: dict[tuple[str, ...], dict[Row, list[Row]]] = {}
+        self._index_cache: dict[tuple[str, ...], dict[Any, list[Row]]] = {}
         self._hash: int | None = None
 
     @classmethod
@@ -187,7 +208,7 @@ class Relation:
         if header == self._columns:
             return self
         positions = [self.column_index(name) for name in header]
-        new_rows = frozenset(tuple(row[i] for i in positions) for row in self._rows)
+        new_rows = frozenset(map(_tuple_getter(positions), self._rows))
         return Relation._from_trusted(header, new_rows)
 
     def project_out(self, columns: Iterable[str]) -> "Relation":
@@ -225,7 +246,7 @@ class Relation:
         if header == self._columns:
             return self
         positions = [self.column_index(name) for name in header]
-        new_rows = frozenset(tuple(row[i] for i in positions) for row in self._rows)
+        new_rows = frozenset(map(_tuple_getter(positions), self._rows))
         return Relation._from_trusted(header, new_rows)
 
     def select(self, predicate: Callable[[Mapping[str, Any]], bool]) -> "Relation":
@@ -261,16 +282,20 @@ class Relation:
     # ------------------------------------------------------------------
     # Binary operations
     # ------------------------------------------------------------------
-    def _key_index(self, key_columns: tuple[str, ...]) -> dict[Row, list[Row]]:
-        """Hash index from key-column values to rows, memoized per header."""
+    def _key_index(self, key_columns: tuple[str, ...]) -> dict[Any, list[Row]]:
+        """Hash index from key-column values to rows, memoized per header.
+
+        Keys are built with :func:`_key_getter` (a bare value for one key
+        column, a tuple for several); probers must extract their keys the
+        same way."""
         cached = self._index_cache.get(key_columns)
         if cached is not None:
             return cached
-        positions = [self.column_index(name) for name in key_columns]
-        index: dict[Row, list[Row]] = {}
+        key_of = _key_getter([self.column_index(name) for name in key_columns])
+        index: dict[Any, list[Row]] = {}
+        setdefault = index.setdefault
         for row in self._rows:
-            key = tuple(row[i] for i in positions)
-            index.setdefault(key, []).append(row)
+            setdefault(key_of(row), []).append(row)
         self._index_cache[key_columns] = index
         return index
 
@@ -311,12 +336,8 @@ class Relation:
         if not shared:
             return self if not other.is_empty() else Relation(self._columns)
         other_keys = other._key_index(shared).keys()
-        positions = [self.column_index(name) for name in shared]
-        kept = frozenset(
-            row
-            for row in self._rows
-            if tuple(row[i] for i in positions) in other_keys
-        )
+        key_of = _key_getter([self.column_index(name) for name in shared])
+        kept = frozenset(row for row in self._rows if key_of(row) in other_keys)
         return self._filtered(kept)
 
     def antijoin(self, other: "Relation") -> "Relation":
@@ -397,19 +418,53 @@ def hash_join_rows(
     ``left_row + right_extra_values`` regardless of which side was the
     build side.  ``shared`` must be non-empty; ``right_extra`` holds the
     positions of the right operand's non-shared columns.
+
+    Two shapes are special-cased off the generic pair loop: when the
+    right operand has no extra columns the join is a semijoin filter on
+    the left operand (no output rows are assembled at all), and when the
+    probe side is the left operand each build row's extra values are
+    extracted once up front instead of once per matching pair.
     """
     if left.cardinality <= right.cardinality:
         build, probe, probe_is_left = left, right, False
     else:
         build, probe, probe_is_left = right, left, True
     index = build._key_index(shared)
-    probe_positions = [probe.column_index(name) for name in shared]
-    rows = set()
-    for probe_row in probe.rows:
-        key = tuple(probe_row[i] for i in probe_positions)
-        for match in index.get(key, ()):
-            left_row, right_row = (
-                (probe_row, match) if probe_is_left else (match, probe_row)
-            )
-            rows.add(left_row + tuple(right_row[i] for i in right_extra))
-    return frozenset(rows)
+    key_of = _key_getter([probe.column_index(name) for name in shared])
+    out: set[Row] = set()
+    if not right_extra:
+        # Right contributes key columns only: the output is exactly the
+        # left rows with at least one match.
+        if probe_is_left:
+            for row in probe.rows:
+                if key_of(row) in index:
+                    out.add(row)
+        else:
+            for row in probe.rows:
+                matches = index.get(key_of(row))
+                if matches:
+                    out.update(matches)
+        return frozenset(out)
+    extra_of = _tuple_getter(list(right_extra))
+    if probe_is_left:
+        # Output is probe_row + extras(build_row): precompute each
+        # bucket's extra tuples once, not once per matching pair.
+        extra_index = {
+            key: [extra_of(match) for match in matches]
+            for key, matches in index.items()
+        }
+        for row in probe.rows:
+            extras = extra_index.get(key_of(row))
+            if extras:
+                for extra in extras:
+                    out.add(row + extra)
+    else:
+        # Output is build_row + extras(probe_row): extract the probe
+        # row's extras once, outside the match loop.
+        for row in probe.rows:
+            matches = index.get(key_of(row))
+            if matches:
+                extra = extra_of(row)
+                for match in matches:
+                    out.add(match + extra)
+    return frozenset(out)

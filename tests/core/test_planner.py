@@ -130,7 +130,7 @@ class TestAutoMethod:
 
 class TestCanonicalizerHook:
     def test_hook_applied_and_restorable(self, pentagon_instance):
-        from repro.core.planner import canonical_plan, set_plan_canonicalizer
+        from repro.core.planner import canonical_plan, plan_canonicalizer
         from repro.rewrite import normalize
 
         seen = []
@@ -139,14 +139,35 @@ class TestCanonicalizerHook:
             seen.append(plan)
             return normalize(plan)
 
-        previous = set_plan_canonicalizer(hook)
-        try:
+        with plan_canonicalizer(hook):
             plan = plan_query(pentagon_instance.query, "bucket")
             assert seen, "hook was not applied by plan_query"
             assert plan == normalize(seen[-1])
             assert canonical_plan(seen[-1]) == plan
-        finally:
-            set_plan_canonicalizer(previous)
+
+    def test_context_manager_restores_on_error(self, pentagon_instance):
+        from repro.core.planner import canonical_plan, plan_canonicalizer
+        from repro.rewrite import normalize
+
+        with pytest.raises(RuntimeError):
+            with plan_canonicalizer(normalize):
+                raise RuntimeError("boom")
+        plan = plan_query(pentagon_instance.query, "bucket")
+        assert canonical_plan(plan) is plan
+
+    def test_context_manager_nests_and_restores_outer(self, pentagon_instance):
+        from repro.core.planner import canonical_plan, plan_canonicalizer
+        from repro.rewrite import normalize
+
+        def identity(plan):
+            return plan
+
+        with plan_canonicalizer(normalize):
+            with plan_canonicalizer(identity):
+                plan = plan_query(pentagon_instance.query, "bucket")
+                assert canonical_plan(plan) is plan
+            restored = plan_query(pentagon_instance.query, "bucket")
+            assert restored == normalize(restored)
 
     def test_no_hook_is_identity(self, pentagon_instance):
         from repro.core.planner import canonical_plan

@@ -2,8 +2,10 @@
 
 Covers the acceptance properties of the fast-path layer: cache on/off
 never changes results (across all five planning methods), repeated
-evaluation of a bucket-elimination plan produces cache hits, catalog
-mutations invalidate via the generation key, and the LRU bound holds.
+evaluation of a bucket-elimination plan produces cache hits, cache hits
+replay the subtree's logical stats (so plan-cost counters are
+cache-state independent), catalog mutations drop the cache via the
+database generation counter, and the LRU bound holds.
 """
 
 import random
@@ -59,13 +61,45 @@ def test_bucket_plan_records_cache_hits(db, query):
     assert result == Engine(db, plan_cache_size=0).execute(plan)
 
 
+def test_cache_hits_replay_logical_stats(db, query):
+    """Logical work counters are cache-state independent: a fully warm
+    run reports the same plan cost as a cache-disabled run, differing
+    only in ``rows_built`` and the hit/miss counters."""
+    plan = plan_query(query, "bucket", rng=random.Random(0))
+    _, uncached = Engine(db, plan_cache_size=0).execute_with_stats(plan)
+    engine = Engine(db)
+    engine.execute(plan)  # warm the cache
+    _, warm = engine.execute_with_stats(plan)
+
+    for counter in (
+        "joins",
+        "projections",
+        "scans",
+        "total_intermediate_tuples",
+        "max_intermediate_cardinality",
+        "max_intermediate_arity",
+        "peak_live_tuples",
+    ):
+        assert getattr(warm, counter) == getattr(uncached, counter), counter
+    assert warm.arity_trace == uncached.arity_trace
+    assert warm.rows_built == 0
+    assert uncached.rows_built == uncached.total_intermediate_tuples
+
+
 def test_shared_subtree_evaluated_once(db):
     scan = Scan("edge", ("a", "b"))
     plan = Join(scan, scan)
     stats = ExecutionStats()
     Engine(db).execute(plan, stats=stats)
-    assert stats.scans == 1
+    # The second scan is a cache hit: its stats are replayed (so the
+    # logical counters match an uncached run, which scans twice) but its
+    # rows are not rebuilt.
     assert stats.cache_hits == 1
+    assert stats.scans == 2
+    _, uncached = Engine(db, plan_cache_size=0).execute_with_stats(plan)
+    assert stats.scans == uncached.scans
+    assert stats.total_intermediate_tuples == uncached.total_intermediate_tuples
+    assert stats.rows_built < stats.total_intermediate_tuples
 
 
 def test_disabled_cache_reports_no_cache_traffic(db, query):
@@ -87,6 +121,18 @@ def test_catalog_mutation_invalidates(db):
     db.replace("edge", Relation(("u", "w"), [(1, 2)]))
     after = engine.execute(plan)
     assert after.cardinality == 1
+
+
+def test_catalog_mutation_drops_stale_entries(db):
+    """Mutation clears the whole cache — stale results from earlier
+    generations are not pinned until LRU eviction."""
+    engine = Engine(db)
+    for i in range(4):
+        engine.execute(Scan("edge", (f"v{i}", "w")))
+    assert len(engine._cache) == 4
+    db.replace("edge", Relation(("u", "w"), [(1, 2)]))
+    engine.execute(Scan("edge", ("x", "y")))
+    assert len(engine._cache) == 1
 
 
 def test_lru_bound_holds(db):
