@@ -1,0 +1,100 @@
+"""Yannakakis vs bucket elimination on acyclic mediator workloads.
+
+Section 7's semijoin direction, measured: on acyclic queries the
+plan-compiled Yannakakis method ("yannakakis" in ``METHODS``) runs the
+full-reducer semijoin passes and then joins only reduced relations, so
+its worst case is bounded by input + output size, while bucket
+elimination — structurally optimal on width — can still materialize
+larger intermediates.  The mediator chains and stars are acyclic, so
+both methods apply; the 3-COLOR workloads are cyclic and "yannakakis"
+does not appear in those groups at all (and on 3-COLOR the full reducer
+removes nothing anyway, per the paper's Section 2 note).
+
+Plan caching is disabled as in every execution benchmark here (see
+``execution_engine``): with shared reduction chains memoized the
+semijoin program would be nearly free and the comparison dishonest.
+"""
+
+import random
+
+import pytest
+
+from conftest import bench_execution
+
+from repro.core.query import Atom, ConjunctiveQuery
+from repro.relalg.database import Database
+from repro.relalg.relation import Relation
+from repro.workloads.mediator import chain_query, snowflake_query, star_query
+
+METHODS = ["bucket", "yannakakis"]
+
+
+def broken_chain(hops, base, fanout, seed=0):
+    """A chain join whose middle hop dangles every tuple.
+
+    Each source maps ``base`` values to ``fanout`` successors, so partial
+    joins grow by a factor of ``fanout`` per hop — but the middle hop
+    writes its targets into a disjoint value space, so the full answer is
+    empty.  A full reducer discovers this before materializing anything;
+    a join-order planner pays ``fanout**(hops/2)`` from whichever end it
+    starts.  This is the classic dangling-tuple instance where
+    Yannakakis' input+output bound beats width-optimal planning.
+    """
+    rng = random.Random(seed)
+    database = Database()
+    atoms = []
+    mid = hops // 2
+    for hop in range(hops):
+        rows = set()
+        for source in range(base):
+            for _ in range(fanout):
+                target = rng.randrange(base)
+                rows.add(
+                    (source, target + base) if hop == mid else (source, target)
+                )
+        name = f"hop{hop}"
+        database.add(name, Relation(("s", "t"), rows))
+        atoms.append(Atom(name, (f"j{hop}", f"j{hop + 1}")))
+    query = ConjunctiveQuery(
+        atoms=tuple(atoms), free_variables=("j0", f"j{hops}")
+    )
+    return query, database
+
+
+@pytest.mark.parametrize("hops", [6, 10, 14])
+@pytest.mark.parametrize("method", METHODS)
+def test_chain(benchmark, method, hops):
+    query, database = chain_query(hops, random.Random(7))
+    bench_execution(
+        benchmark, f"yannakakis-vs-bucket chain hops={hops}", method,
+        query, database,
+    )
+
+
+@pytest.mark.parametrize("satellites", [5, 8])
+@pytest.mark.parametrize("method", METHODS)
+def test_star(benchmark, method, satellites):
+    query, database = star_query(satellites, random.Random(9))
+    bench_execution(
+        benchmark, f"yannakakis-vs-bucket star satellites={satellites}",
+        method, query, database,
+    )
+
+
+@pytest.mark.parametrize("hops", [6, 8])
+@pytest.mark.parametrize("method", METHODS)
+def test_broken_chain(benchmark, method, hops):
+    query, database = broken_chain(hops, base=100, fanout=6)
+    bench_execution(
+        benchmark, f"yannakakis-vs-bucket broken-chain hops={hops}", method,
+        query, database,
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_snowflake(benchmark, method):
+    query, database = snowflake_query(3, 2, random.Random(11))
+    bench_execution(
+        benchmark, "yannakakis-vs-bucket snowflake branches=3 depth=2",
+        method, query, database,
+    )

@@ -13,6 +13,7 @@ Run with::
 
 from repro import coloring_instance, evaluate, pentagon, plan_query, plan_width
 from repro.core import METHODS
+from repro.errors import QueryStructureError
 
 
 def main() -> None:
@@ -24,7 +25,12 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for method in METHODS:
-        plan = plan_query(instance.query, method)
+        try:
+            plan = plan_query(instance.query, method)
+        except QueryStructureError:
+            # "yannakakis" needs an acyclic query; the pentagon is a cycle.
+            print(f"{method:>16}  requires an acyclic query (the pentagon is not)")
+            continue
         result, stats = evaluate(plan, instance.database)
         print(
             f"{method:>16}  {result.cardinality:>5}  "

@@ -41,7 +41,18 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.explain import ExplainResult, explain
-from repro.plans import Join, Plan, Project, Scan, plan_key, plan_width, pretty_plan
+from repro.plans import (
+    Join,
+    Plan,
+    Project,
+    Scan,
+    Semijoin,
+    plan_key,
+    plan_width,
+    pretty_plan,
+    transform,
+    walk,
+)
 from repro.rewrite import normalize, rewrite_plan
 from repro.relalg import Database, Engine, ExecutionStats, Relation, edge_database, evaluate
 from repro.sql import execute_with_stats, generate_sql, parse
@@ -74,10 +85,13 @@ __all__ = [
     "Plan",
     "Scan",
     "Join",
+    "Semijoin",
     "Project",
     "plan_key",
     "plan_width",
     "pretty_plan",
+    "transform",
+    "walk",
     "explain",
     "ExplainResult",
     "normalize",

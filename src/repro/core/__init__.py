@@ -66,6 +66,7 @@ from repro.core.semijoins import (
     is_acyclic,
     semijoin_reduce,
     yannakakis_evaluate,
+    yannakakis_plan,
 )
 from repro.core.tree_decomposition import (
     TreeDecomposition,
@@ -126,6 +127,7 @@ __all__ = [
     "is_acyclic",
     "semijoin_reduce",
     "yannakakis_evaluate",
+    "yannakakis_plan",
     "MiniBucketPlan",
     "MiniBucketStep",
     "mini_bucket_plan",

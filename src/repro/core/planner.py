@@ -10,7 +10,10 @@ executable :mod:`repro.plans` tree using any of:
 - ``"reordering"`` — greedy atom reorder + early projection (Section 4);
 - ``"bucket"`` — bucket elimination with the MCS numbering (Section 5);
 - ``"jointree"`` — width-optimal join-expression tree via exact treewidth
-  (Theorem 1; small queries only).
+  (Theorem 1; small queries only);
+- ``"yannakakis"`` — plan-level Yannakakis: full-reducer semijoin passes
+  compiled to :class:`~repro.plans.Semijoin` nodes, then the projecting
+  join phase (Section 7's semijoin direction; acyclic queries only).
 """
 
 from __future__ import annotations
@@ -25,16 +28,19 @@ from repro.core.early_projection import early_projection_plan, straightforward_p
 from repro.core.join_tree import jet_to_plan, optimal_jet
 from repro.core.query import ConjunctiveQuery
 from repro.core.reordering import reordering_plan
+from repro.core.semijoins import yannakakis_plan
 from repro.errors import PlanError
 from repro.plans import Plan
 
-#: Methods in the order the paper introduces them.
+#: Methods in the order the paper introduces them (the paper's five, then
+#: the Section 7 semijoin direction).
 METHODS: tuple[str, ...] = (
     "straightforward",
     "early",
     "reordering",
     "bucket",
     "jointree",
+    "yannakakis",
 )
 
 #: Join-graph size below which ``auto`` affords exact treewidth.
@@ -130,6 +136,7 @@ def plan_query(
             query, order=order, heuristic=heuristic, rng=rng
         ).plan,
         "jointree": lambda: jet_to_plan(optimal_jet(query)),
+        "yannakakis": lambda: yannakakis_plan(query),
     }
     try:
         builder = builders[method]

@@ -9,10 +9,17 @@ makes both halves of that story executable:
 - :func:`gyo_reduction` — the Graham/Yu–Özsoyoğlu ear-removal test for
   hypergraph acyclicity, returning a join tree of atoms when acyclic;
 - :func:`semijoin_reduce` — the full-reducer pass (leaves-to-root, then
-  root-to-leaves) over that join tree;
-- :func:`yannakakis_evaluate` — the classic two-phase algorithm: fully
-  reduce, then join bottom-up with projection to needed variables, which
-  for acyclic queries bounds intermediate sizes by input + output.
+  root-to-leaves) over that join tree, at the relation level;
+- :func:`yannakakis_plan` — the classic two-phase algorithm *compiled to
+  a plan*: the full-reducer semijoin passes become
+  :class:`~repro.plans.Semijoin` nodes and the bottom-up join phase
+  becomes joins with projections to still-needed variables, so the
+  method flows through the same IR as every other method — it executes
+  on the engine, renders to ``EXISTS`` SQL, caches, explains, and
+  visualizes like any plan (registered as method ``"yannakakis"`` in
+  :func:`repro.core.planner.plan_query`);
+- :func:`yannakakis_evaluate` — convenience wrapper: compile with
+  :func:`yannakakis_plan`, execute with the engine.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from dataclasses import dataclass
 
 from repro.core.query import ConjunctiveQuery
 from repro.errors import QueryStructureError
+from repro.plans import Join, Plan, Project, Semijoin
 from repro.relalg.database import Database
 from repro.relalg.engine import Engine
 from repro.relalg.relation import Relation
@@ -139,6 +147,81 @@ def semijoin_reduce(
     return relations, removed
 
 
+def yannakakis_plan(
+    query: ConjunctiveQuery, tree: AtomJoinTree | None = None
+) -> Plan:
+    """Compile an acyclic query into a Yannakakis plan.
+
+    Phase 1 is the full-reducer semijoin program over the GYO join tree,
+    expressed as :class:`~repro.plans.Semijoin` nodes: the upward pass
+    reduces each parent by its children (leaves first), the downward pass
+    reduces each child by its already-reduced parent.  Phase 2 joins the
+    reduced atoms bottom-up along the tree, projecting each intermediate
+    to the variables its ancestors or the answer still need.  The result
+    is an ordinary plan — it executes on the engine (where the
+    common-subexpression cache evaluates each shared reduction chain
+    once), renders to ``EXISTS`` SQL, and carries Theorem-1 width
+    accounting like any other method's plan.
+
+    Raises :class:`~repro.errors.QueryStructureError` for cyclic queries.
+    """
+    if tree is None:
+        tree = gyo_reduction(query)
+    if tree is None:
+        raise QueryStructureError(
+            "the Yannakakis algorithm requires an acyclic query (GYO failed)"
+        )
+    reduced: list[Plan] = [atom.to_scan() for atom in query.atoms]
+    # Upward pass (leaves first): parent := parent ⋉ child.
+    for atom in tree.order:
+        p = tree.parent[atom]
+        if p is not None:
+            reduced[p] = Semijoin(reduced[p], reduced[atom])
+    # Downward pass (root first): child := child ⋉ reduced parent.
+    for atom in reversed(tree.order):
+        p = tree.parent[atom]
+        if p is not None:
+            reduced[atom] = Semijoin(reduced[atom], reduced[p])
+    target = set(query.free_variables)
+    children: dict[int, list[int]] = {i: [] for i in range(len(query.atoms))}
+    for atom, p in enumerate(tree.parent):
+        if p is not None:
+            children[p].append(atom)
+    # Join phase, bottom-up.  GYO removes every atom before its witness,
+    # so tree.order visits children before parents and each child's
+    # joined sub-plan is ready when its parent needs it.
+    joined: dict[int, Plan] = {}
+    for atom in tree.order:
+        current = reduced[atom]
+        for child in children[atom]:
+            current = Join(current, joined[child])
+        # Keep only what the ancestors or the answer still need.
+        if tree.parent[atom] is None:
+            keep = tuple(c for c in current.columns if c in target)
+        else:
+            outside = _outside_vars(
+                query, subtree_atoms=_subtree_atoms(children, atom)
+            )
+            keep = tuple(
+                column
+                for column in current.columns
+                if column in outside or column in target
+            )
+        if keep != current.columns:
+            current = Project(current, keep)
+        joined[atom] = current
+    roots = [atom for atom, p in enumerate(tree.parent) if p is None]
+    plan = joined[roots[0]]
+    for root in roots[1:]:
+        # Variable-disjoint components: the join degenerates to a cross
+        # product, exactly as the relation-level algorithm cross-joined.
+        plan = Join(plan, joined[root])
+    ordered_target = tuple(query.free_variables)
+    if plan.columns != ordered_target:
+        plan = Project(plan, ordered_target)
+    return plan
+
+
 def yannakakis_evaluate(
     query: ConjunctiveQuery,
     database: Database,
@@ -146,63 +229,15 @@ def yannakakis_evaluate(
 ) -> Relation:
     """Evaluate an acyclic query with the Yannakakis algorithm.
 
-    Phase 1 fully reduces the atom relations by semijoins; phase 2 joins
-    them bottom-up along the join tree, projecting each intermediate to
-    the variables still needed above it plus the target schema.  On an
-    acyclic query the reduction guarantees no intermediate blow-up.
+    Compiles the query with :func:`yannakakis_plan` and executes the
+    resulting plan on the engine; stats therefore reflect the plan's
+    logical operator tree (shared reduction chains are counted at every
+    occurrence, even though the engine's common-subexpression cache
+    materializes each only once).
     """
     stats = stats if stats is not None else ExecutionStats()
-    tree = gyo_reduction(query)
-    if tree is None:
-        raise QueryStructureError(
-            "the Yannakakis algorithm requires an acyclic query"
-        )
-    relations, _ = semijoin_reduce(query, database, tree=tree, stats=stats)
-    target = set(query.free_variables)
-    # needed_above[i]: variables of atom i's subtree that occur outside it.
-    children: dict[int, list[int]] = {i: [] for i in range(len(query.atoms))}
-    for atom, p in enumerate(tree.parent):
-        if p is not None:
-            children[p].append(atom)
-
-    def join_up(atom: int) -> Relation:
-        current = relations[atom]
-        for child in children[atom]:
-            child_rel = join_up(child)
-            current = current.natural_join(child_rel)
-            stats.record_join(
-                current.cardinality, child_rel.cardinality, current.cardinality
-            )
-            stats.record_output(current.cardinality, current.arity)
-        # Keep only what the ancestors or the answer still need.
-        if tree.parent[atom] is None:
-            keep = [c for c in current.columns if c in target]
-        else:
-            outside = _outside_vars(
-                query, subtree_atoms=_subtree_atoms(children, atom)
-            )
-            keep = [
-                column
-                for column in current.columns
-                if column in outside or column in target
-            ]
-        if tuple(keep) != current.columns:
-            current = current.project(keep)
-            stats.projections += 1
-            stats.record_output(current.cardinality, current.arity)
-        return current
-
-    roots = [atom for atom, p in enumerate(tree.parent) if p is None]
-    result = join_up(roots[0])
-    for root in roots[1:]:
-        other = join_up(root)
-        result = result.natural_join(other)
-        stats.record_output(result.cardinality, result.arity)
-    ordered_target = tuple(query.free_variables)
-    if result.columns != ordered_target:
-        result = result.project(ordered_target)
-        stats.record_output(result.cardinality, result.arity)
-    return result
+    plan = yannakakis_plan(query)
+    return Engine(database).execute(plan, stats=stats)
 
 
 def _subtree_atoms(children: dict[int, list[int]], atom: int) -> set[int]:

@@ -451,7 +451,12 @@ def mediator_chain_scaling(
 ) -> Series:
     """The introduction's mediator motivation as an experiment: chains of
     small heterogeneous sources (varying arities and sizes), scaling the
-    number of joined sources."""
+    number of joined sources.
+
+    Mediator chains are acyclic, so this is the one series where the
+    Section 7 semijoin direction applies: "yannakakis" runs alongside the
+    paper's four execution methods.
+    """
     from repro.workloads.mediator import chain_query
 
     def build(n: float, seed: int) -> tuple[ConjunctiveQuery, Database]:
@@ -462,6 +467,7 @@ def mediator_chain_scaling(
         x_label="sources joined",
         x_values=[float(n) for n in hops],
         build_instance=build,
+        methods=EXECUTION_METHODS + ("yannakakis",),
         seeds=seeds,
         budget_seconds=budget_seconds,
         via_sql=via_sql,

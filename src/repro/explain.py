@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.plans import Join, Plan, Project, Scan
+from repro.plans import Join, Plan, Project, Scan, Semijoin, children
 from repro.relalg.database import Database
 from repro.relalg.engine import Engine
 from repro.relalg.relation import Relation
@@ -57,18 +57,17 @@ class ExplainResult:
     def render(self) -> str:
         """EXPLAIN-style indented text."""
         lines: list[str] = []
-
-        def walk(node: ExplainNode, depth: int) -> None:
+        stack: list[tuple[ExplainNode, int]] = [(self.root, 0)]
+        while stack:
+            node, depth = stack.pop()
             pad = "  " * depth
             lines.append(
                 f"{pad}{node.label}  "
                 f"(estimated={node.estimated_rows:.1f} actual={node.actual_rows} "
                 f"arity={node.arity})"
             )
-            for child in node.children:
-                walk(child, depth + 1)
-
-        walk(self.root, 0)
+            for child in reversed(node.children):
+                stack.append((child, depth + 1))
         return "\n".join(lines)
 
 
@@ -104,7 +103,9 @@ def explain(plan: Plan, database: Database) -> ExplainResult:
             ndv_cache[variable] = best
         return best if best is not None else 1.0
 
-    def walk(node: Plan) -> tuple[ExplainNode, Relation, float]:
+    def annotate(
+        node: Plan, inputs: list[tuple[ExplainNode, Relation, float]]
+    ) -> tuple[ExplainNode, Relation, float]:
         if isinstance(node, Scan):
             actual = engine.execute(node)
             estimated = float(database.get(node.relation).cardinality)
@@ -117,16 +118,34 @@ def explain(plan: Plan, database: Database) -> ExplainResult:
                 estimated,
             )
         if isinstance(node, Project):
-            child_node, child_rel, child_est = walk(node.child)
+            child_node, child_rel, child_est = inputs[0]
             actual = child_rel.project(node.columns)
             label = f"Project[{', '.join(node.columns)}]"
             out = ExplainNode(
                 label, child_est, actual.cardinality, actual.arity, [child_node]
             )
             return out, actual, child_est
+        if isinstance(node, Semijoin):
+            left_node, left_rel, left_est = inputs[0]
+            right_node, right_rel, _ = inputs[1]
+            shared = set(left_rel.columns) & set(right_rel.columns)
+            # A reducer can only filter its left input; planners (and the
+            # independence model here) estimate it as a cardinality no-op,
+            # so the actual/estimated gap displays exactly what the
+            # reduction removed.
+            estimated = left_est
+            actual = left_rel.semijoin(right_rel)
+            out = ExplainNode(
+                f"Semijoin on {sorted(shared) if shared else 'TRUE (filter)'}",
+                estimated,
+                actual.cardinality,
+                actual.arity,
+                [left_node, right_node],
+            )
+            return out, actual, estimated
         assert isinstance(node, Join)
-        left_node, left_rel, left_est = walk(node.left)
-        right_node, right_rel, right_est = walk(node.right)
+        left_node, left_rel, left_est = inputs[0]
+        right_node, right_rel, right_est = inputs[1]
         shared = set(left_rel.columns) & set(right_rel.columns)
         estimated = left_est * right_est
         for variable in shared:
@@ -142,7 +161,23 @@ def explain(plan: Plan, database: Database) -> ExplainResult:
         )
         return out, actual, estimated
 
-    root, result, _ = walk(plan)
+    # Iterative post-order evaluation (explicit stack) so deep plans
+    # explain without recursion; mirrors Engine._eval_uncached.
+    Entry = tuple[ExplainNode, Relation, float]
+    root_out: list[Entry] = []
+    stack: list[tuple[Plan, list[Entry], list[Entry] | None]] = [
+        (plan, root_out, None)
+    ]
+    while stack:
+        node, dest, inputs = stack.pop()
+        if inputs is None:
+            inputs = []
+            stack.append((node, dest, inputs))
+            for child in reversed(children(node)):
+                stack.append((child, inputs, None))
+            continue
+        dest.append(annotate(node, inputs))
+    root, result, _ = root_out[0]
     return ExplainResult(root=root, result=result)
 
 

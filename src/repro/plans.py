@@ -1,11 +1,12 @@
 """Logical project-join plans.
 
 A plan is a tree of operators — :class:`Scan`, :class:`Join`,
-:class:`Project` — whose evaluation order is exactly the tree structure.
-This is the common currency of the repo: every optimization method in
-:mod:`repro.core` compiles a conjunctive query into one of these trees, the
-engine in :mod:`repro.relalg.engine` evaluates them, and the SQL generator
-in :mod:`repro.sql` renders them as the paper's nested-subquery SQL.
+:class:`Semijoin`, :class:`Project` — whose evaluation order is exactly
+the tree structure.  This is the common currency of the repo: every
+optimization method in :mod:`repro.core` compiles a conjunctive query into
+one of these trees, the engine in :mod:`repro.relalg.engine` evaluates
+them, and the SQL generator in :mod:`repro.sql` renders them as the
+paper's nested-subquery SQL (semijoins as correlated ``EXISTS``).
 
 Columns are *variable names*: a scan renames the base relation's columns to
 the variables of the atom it implements, so every subsequent join is a
@@ -15,14 +16,22 @@ constant arguments (e.g. ``R(x, 3)``) are handled by the scan itself.
 
 The *width* of a plan — the maximum arity of any operator output — is the
 quantity Theorems 1 and 2 of the paper bound by treewidth; it is computed
-here statically, without evaluating anything.
+here statically, without evaluating anything.  A :class:`Semijoin` outputs
+its left operand's schema unchanged, so introducing semijoin reducers
+never widens a plan and Theorem 1's width accounting is unaffected.
+
+Every traversal in this module — and every plan consumer in the repo —
+goes through the shared visitor framework (:func:`walk`,
+:func:`transform`, :func:`children`), which is iterative: plans thousands
+of operators deep (Figure 6-scale path queries) neither recurse past the
+interpreter limit nor recompute child schemas quadratically
+(``columns``/``arity``/``plan_key`` are memoized per node).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from functools import lru_cache
-from typing import Any, Iterator, Union
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Union
 
 from repro.errors import PlanError
 
@@ -71,12 +80,12 @@ class Scan:
     @property
     def columns(self) -> tuple[str, ...]:
         """Output schema: distinct variables, first-occurrence order."""
-        return _dedup_keep_order(self.variables)
+        return _node_columns(self)
 
     @property
     def arity(self) -> int:
         """Number of output columns."""
-        return len(self.columns)
+        return len(_node_columns(self))
 
 
 @dataclass(frozen=True)
@@ -89,15 +98,41 @@ class Join:
     @property
     def columns(self) -> tuple[str, ...]:
         """Output schema: left columns, then the right side's new ones."""
-        left_cols = self.left.columns
-        return left_cols + tuple(
-            name for name in self.right.columns if name not in set(left_cols)
-        )
+        return _node_columns(self)
 
     @property
     def arity(self) -> int:
         """Number of output columns."""
-        return len(self.columns)
+        return len(_node_columns(self))
+
+
+@dataclass(frozen=True)
+class Semijoin:
+    """Semijoin ``left ⋉ right``: rows of ``left`` with at least one
+    natural-join partner in ``right``.
+
+    This is the Wong–Youssefi reducer the paper's Section 7 points to: it
+    filters the left operand without ever contributing columns, so the
+    output schema is exactly the left schema and the node's arity never
+    exceeds its left child's — introducing semijoin reducers cannot widen
+    a plan, which keeps Theorem 1's width accounting intact.  With no
+    shared variables the semijoin degenerates to a nonemptiness filter on
+    the right operand (all of ``left`` when ``right`` is nonempty, else
+    the empty relation), mirroring ``Relation.semijoin``.
+    """
+
+    left: "Plan"
+    right: "Plan"
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Output schema: the left operand's columns, unchanged."""
+        return _node_columns(self)
+
+    @property
+    def arity(self) -> int:
+        """Number of output columns (the left operand's arity)."""
+        return len(_node_columns(self))
 
 
 @dataclass(frozen=True)
@@ -127,39 +162,229 @@ class Project:
         return len(self.columns)
 
 
-Plan = Union[Scan, Join, Project]
+Plan = Union[Scan, Join, Semijoin, Project]
+
+#: Signature of a :func:`transform` visitor: return a replacement node, or
+#: ``None`` to keep the (already child-rebuilt) node unchanged.
+Visitor = Callable[[Plan], "Plan | None"]
+
+
+# ----------------------------------------------------------------------
+# The shared visitor framework
+# ----------------------------------------------------------------------
+def children(plan: Plan) -> tuple[Plan, ...]:
+    """The node's direct sub-plans, left to right (empty for scans)."""
+    if isinstance(plan, (Join, Semijoin)):
+        return (plan.left, plan.right)
+    if isinstance(plan, Project):
+        return (plan.child,)
+    if isinstance(plan, Scan):
+        return ()
+    raise PlanError(f"unknown plan node {plan!r}")
+
+
+def with_children(plan: Plan, new_children: tuple[Plan, ...]) -> Plan:
+    """Rebuild ``plan`` with replacement children (same operator, same
+    non-child fields).  Returns ``plan`` itself when every child is
+    identical, so identity survives no-op rebuilds."""
+    old = children(plan)
+    if len(old) != len(new_children):
+        raise PlanError(
+            f"{type(plan).__name__} takes {len(old)} children, "
+            f"got {len(new_children)}"
+        )
+    if all(new is previous for new, previous in zip(new_children, old)):
+        return plan
+    if isinstance(plan, Join):
+        return Join(new_children[0], new_children[1])
+    if isinstance(plan, Semijoin):
+        return Semijoin(new_children[0], new_children[1])
+    if isinstance(plan, Project):
+        return Project(new_children[0], plan.columns)
+    raise PlanError(f"cannot replace children of {plan!r}")
+
+
+def walk(plan: Plan) -> Iterator[Plan]:
+    """Yield every node of the plan tree in post-order (children before
+    parents, left before right).
+
+    The traversal is iterative — an explicit stack, no recursion — so
+    left-deep chains thousands of joins long (the paper's Figure 6
+    scaling regime) walk without hitting the interpreter's recursion
+    limit.  This is the one traversal every consumer builds on.
+    """
+    stack: list[tuple[Plan, bool]] = [(plan, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            yield node
+            continue
+        stack.append((node, True))
+        kids = children(node)
+        for child in reversed(kids):
+            stack.append((child, False))
+
+
+def transform(plan: Plan, fn: Visitor) -> Plan:
+    """Rebuild the plan bottom-up, offering every node to ``fn``.
+
+    ``fn`` receives each node *after* its children have been transformed
+    (and the node rebuilt around them) and returns either a replacement
+    plan or ``None`` to keep the node.  The result preserves identity:
+    when ``fn`` never fires, the original ``plan`` object comes back
+    unchanged (``transform(p, lambda n: None) is p``), which lets fixpoint
+    drivers terminate on an identity check instead of a deep structural
+    comparison.
+
+    Like :func:`walk` the traversal is iterative, so rules apply to
+    arbitrarily deep plans; a sub-plan object shared between two parents
+    is transformed once and the (single) result is reused at both sites.
+    """
+    done: dict[int, Plan] = {}
+    stack: list[tuple[Plan, bool]] = [(plan, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            rebuilt = with_children(
+                node, tuple(done[id(child)] for child in children(node))
+            )
+            replacement = fn(rebuilt)
+            done[id(node)] = rebuilt if replacement is None else replacement
+            continue
+        if id(node) in done:
+            continue
+        stack.append((node, True))
+        for child in reversed(children(node)):
+            stack.append((child, False))
+    return done[id(plan)]
 
 
 def iter_nodes(plan: Plan) -> Iterator[Plan]:
-    """Yield every node of the plan tree (post-order)."""
-    if isinstance(plan, Join):
-        yield from iter_nodes(plan.left)
-        yield from iter_nodes(plan.right)
-    elif isinstance(plan, Project):
-        yield from iter_nodes(plan.child)
-    yield plan
+    """Yield every node of the plan tree (post-order).
+
+    Alias of :func:`walk`, kept as the historical name.
+    """
+    return walk(plan)
 
 
-@lru_cache(maxsize=None)
+# ----------------------------------------------------------------------
+# Memoized per-node schemas and canonical keys
+# ----------------------------------------------------------------------
+# Plan nodes are frozen dataclasses, so their schemas and canonical keys
+# are immutable too; both are cached in the instance __dict__ (which
+# frozen dataclasses still allow writing through) and filled iteratively,
+# bottom-up, for the whole subtree on first access.  Without this,
+# ``Join.columns`` recomputes every descendant schema on every access and
+# ``plan_width`` on an n-node chain is O(n^2); with it, both are linear.
+
+
+def _compute_columns(node: Plan) -> tuple[str, ...]:
+    """Schema of one node given already-cached child schemas."""
+    if isinstance(node, Scan):
+        return _dedup_keep_order(node.variables)
+    if isinstance(node, Project):
+        return node.columns
+    if isinstance(node, Semijoin):
+        return _node_columns_cached(node.left)
+    left_cols = _node_columns_cached(node.left)
+    seen = set(left_cols)
+    return left_cols + tuple(
+        name for name in _node_columns_cached(node.right) if name not in seen
+    )
+
+
+def _node_columns_cached(node: Plan) -> tuple[str, ...]:
+    if isinstance(node, Project):
+        return node.columns
+    return node.__dict__["_columns"]
+
+
+def _node_columns(node: Plan) -> tuple[str, ...]:
+    cached = node.__dict__.get("_columns")
+    if cached is not None:
+        return cached
+    # Fill bottom-up, but descend only into *uncached* subtrees: already
+    # computed nodes (and Projects, whose schema is a stored field) prune
+    # the descent, so the amortized cost of filling every node of an
+    # n-node plan one by one stays linear in node count instead of
+    # quadratic (each node re-walking its whole subtree).
+    stack: list[tuple[Plan, bool]] = [(node, False)]
+    while stack:
+        top, expanded = stack.pop()
+        if expanded:
+            top.__dict__["_columns"] = _compute_columns(top)
+            continue
+        if isinstance(top, Project) or "_columns" in top.__dict__:
+            continue
+        stack.append((top, True))
+        for child in children(top):
+            stack.append((child, False))
+    return node.__dict__["_columns"]
+
+
+#: Hash-consing table for plan keys: structure -> small int id.  Child
+#: keys are referenced by id, keeping every key a *flat* tuple — deep
+#: plans would otherwise produce nested tuples whose comparison and
+#: hashing recurse (and overflow) in the C runtime.  Ids are
+#: process-local; equal ids <=> equal structures within one process.
+_KEY_IDS: dict[tuple, int] = {}
+
+
+def _intern_key(key: tuple) -> int:
+    existing = _KEY_IDS.get(key)
+    if existing is None:
+        existing = len(_KEY_IDS)
+        _KEY_IDS[key] = existing
+    return existing
+
+
+def _compute_key(node: Plan) -> tuple:
+    """Flat key of one node given already-keyed children."""
+    if isinstance(node, Scan):
+        return ("scan", node.relation, node.variables, node.constants)
+    if isinstance(node, Project):
+        child_id = _intern_key(node.child.__dict__["_plan_key"])
+        return ("project", node.columns, child_id)
+    if isinstance(node, (Semijoin, Join)):
+        tag = "semijoin" if isinstance(node, Semijoin) else "join"
+        return (
+            tag,
+            _intern_key(node.left.__dict__["_plan_key"]),
+            _intern_key(node.right.__dict__["_plan_key"]),
+        )
+    raise PlanError(f"unknown plan node {node!r}")
+
+
 def plan_key(plan: Plan) -> tuple:
     """Stable, hashable canonical key for a plan tree.
 
     Two plans map to the same key iff they are structurally identical —
     same operators, same shapes, same scans with the same bindings.  The
-    key is a nested tuple of plain builtins, so it is independent of
-    object identity and safe to use across processes or as a dict key;
-    the engine's common-subexpression cache keys its memo on it
+    key is a flat tuple of plain builtins (sub-plans appear as interned
+    ids, see :data:`_KEY_IDS`), so it is independent of object identity,
+    O(1)-ish to hash and compare however deep the plan is, and safe as a
+    dict key; the engine's common-subexpression cache keys its memo on it
     (dropping the whole memo when ``database.generation`` changes).
-    Plans are immutable, so the key is memoized: repeated executions of
-    the same tree pay the tuple construction once per distinct subtree.
+    Plans are immutable, so the key is memoized on each node, and the
+    bottom-up fill is iterative and prunes at cached nodes — keys of
+    arbitrarily deep plans build without recursion and without
+    re-walking already-keyed subtrees.
     """
-    if isinstance(plan, Scan):
-        return ("scan", plan.relation, plan.variables, plan.constants)
-    if isinstance(plan, Project):
-        return ("project", plan.columns, plan_key(plan.child))
-    if isinstance(plan, Join):
-        return ("join", plan_key(plan.left), plan_key(plan.right))
-    raise PlanError(f"unknown plan node {plan!r}")
+    cached = plan.__dict__.get("_plan_key")
+    if cached is not None:
+        return cached
+    stack: list[tuple[Plan, bool]] = [(plan, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            node.__dict__["_plan_key"] = _compute_key(node)
+            continue
+        if "_plan_key" in node.__dict__:
+            continue
+        stack.append((node, True))
+        for child in children(node):
+            stack.append((child, False))
+    return plan.__dict__["_plan_key"]
 
 
 def plan_width(plan: Plan) -> int:
@@ -168,13 +393,13 @@ def plan_width(plan: Plan) -> int:
     This is the static analogue of ``max_intermediate_arity``: evaluating
     the plan can never produce a relation wider than this.
     """
-    return max(node.arity for node in iter_nodes(plan))
+    return max(node.arity for node in walk(plan))
 
 
 def plan_variables(plan: Plan) -> set[str]:
     """All variables mentioned anywhere in the plan."""
     out: set[str] = set()
-    for node in iter_nodes(plan):
+    for node in walk(plan):
         if isinstance(node, Scan):
             out.update(node.variables)
     return out
@@ -182,12 +407,17 @@ def plan_variables(plan: Plan) -> set[str]:
 
 def count_joins(plan: Plan) -> int:
     """Number of join operators in the plan."""
-    return sum(1 for node in iter_nodes(plan) if isinstance(node, Join))
+    return sum(1 for node in walk(plan) if isinstance(node, Join))
+
+
+def count_semijoins(plan: Plan) -> int:
+    """Number of semijoin operators in the plan."""
+    return sum(1 for node in walk(plan) if isinstance(node, Semijoin))
 
 
 def count_scans(plan: Plan) -> int:
     """Number of scan leaves in the plan."""
-    return sum(1 for node in iter_nodes(plan) if isinstance(node, Scan))
+    return sum(1 for node in walk(plan) if isinstance(node, Scan))
 
 
 def left_deep_join(leaves: list[Plan]) -> Plan:
@@ -211,7 +441,7 @@ def validate_plan(plan: Plan) -> None:
     exist, no duplicate constants); this walks the whole tree so callers
     holding a plan built elsewhere can assert global well-formedness.
     """
-    for node in iter_nodes(plan):
+    for node in walk(plan):
         if isinstance(node, Project):
             # __post_init__ validated against the child at construction
             # time, but the child may have been swapped via dataclasses
@@ -226,11 +456,6 @@ def validate_plan(plan: Plan) -> None:
                 raise PlanError("scan with empty relation name")
 
 
-@dataclass
-class _PrettyState:
-    lines: list[str] = field(default_factory=list)
-
-
 def pretty_plan(plan: Plan) -> str:
     """Indented multi-line rendering of a plan tree.
 
@@ -241,21 +466,22 @@ def pretty_plan(plan: Plan) -> str:
             Scan edge(v1, v2)
             Scan edge(v2, v3)
     """
-    state = _PrettyState()
-
-    def walk(node: Plan, depth: int) -> None:
+    lines: list[str] = []
+    stack: list[tuple[Plan, int]] = [(plan, 0)]
+    while stack:
+        node, depth = stack.pop()
         pad = "  " * depth
         if isinstance(node, Scan):
             binding = ", ".join(node.variables)
             consts = "".join(f" [{p}={v!r}]" for p, v in node.constants)
-            state.lines.append(f"{pad}Scan {node.relation}({binding}){consts}")
-        elif isinstance(node, Project):
-            state.lines.append(f"{pad}Project[{', '.join(node.columns)}]")
-            walk(node.child, depth + 1)
+            lines.append(f"{pad}Scan {node.relation}({binding}){consts}")
+            continue
+        if isinstance(node, Project):
+            lines.append(f"{pad}Project[{', '.join(node.columns)}]")
+        elif isinstance(node, Semijoin):
+            lines.append(f"{pad}Semijoin")
         else:
-            state.lines.append(f"{pad}Join")
-            walk(node.left, depth + 1)
-            walk(node.right, depth + 1)
-
-    walk(plan, 0)
-    return "\n".join(state.lines)
+            lines.append(f"{pad}Join")
+        for child in reversed(children(node)):
+            stack.append((child, depth + 1))
+    return "\n".join(lines)

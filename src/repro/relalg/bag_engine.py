@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import PlanError
-from repro.plans import Join, Plan, Project, Scan
+from repro.plans import Join, Plan, Project, Scan, Semijoin, children
 from repro.relalg.database import Database
 from repro.relalg.engine import Engine
 from repro.relalg.relation import Relation, Row
@@ -65,21 +65,48 @@ class BagEngine:
     def _eval(
         self, plan: Plan, stats: ExecutionStats
     ) -> tuple[tuple[str, ...], list[Row]]:
+        # Iterative post-order evaluation (explicit stack) so deep plans
+        # never hit the recursion limit; mirrors Engine._eval_uncached.
+        Bag = tuple[tuple[str, ...], list[Row]]
+        root: list[Bag] = []
+        stack: list[tuple[Plan, list[Bag], list[Bag] | None]] = [(plan, root, None)]
+        while stack:
+            node, dest, inputs = stack.pop()
+            if inputs is None:
+                inputs = []
+                stack.append((node, dest, inputs))
+                for child in reversed(children(node)):
+                    stack.append((child, inputs, None))
+                continue
+            dest.append(self._apply_node(node, inputs, stats))
+        return root[0]
+
+    def _apply_node(
+        self,
+        plan: Plan,
+        inputs: list[tuple[tuple[str, ...], list[Row]]],
+        stats: ExecutionStats,
+    ) -> tuple[tuple[str, ...], list[Row]]:
         if isinstance(plan, Scan):
             relation = self._scan_engine.execute(plan)
             stats.scans += 1
             columns, rows = relation.columns, list(relation.rows)
         elif isinstance(plan, Project):
-            child_columns, child_rows = self._eval(plan.child, stats)
+            child_columns, child_rows = inputs[0]
             positions = [child_columns.index(name) for name in plan.columns]
             projected = [tuple(row[i] for i in positions) for row in child_rows]
             if self._dedup:
                 projected = list(dict.fromkeys(projected))
             stats.projections += 1
             columns, rows = plan.columns, projected
+        elif isinstance(plan, Semijoin):
+            (left_columns, left_rows), (right_columns, right_rows) = inputs
+            columns, rows = _bag_semijoin(
+                left_columns, left_rows, right_columns, right_rows
+            )
+            stats.semijoins += 1
         elif isinstance(plan, Join):
-            left_columns, left_rows = self._eval(plan.left, stats)
-            right_columns, right_rows = self._eval(plan.right, stats)
+            (left_columns, left_rows), (right_columns, right_rows) = inputs
             columns, rows = _bag_join(
                 left_columns, left_rows, right_columns, right_rows
             )
@@ -88,6 +115,25 @@ class BagEngine:
             raise PlanError(f"unknown plan node {plan!r}")
         stats.record_output(len(rows), len(columns))
         return columns, rows
+
+
+def _bag_semijoin(
+    left_columns: tuple[str, ...],
+    left_rows: list[Row],
+    right_columns: tuple[str, ...],
+    right_rows: list[Row],
+) -> tuple[tuple[str, ...], list[Row]]:
+    """Multiset semijoin: left rows (with multiplicity) that have at least
+    one natural-join partner in the right bag.  With no shared columns it
+    degenerates to a nonemptiness filter, matching ``Relation.semijoin``."""
+    shared = tuple(name for name in left_columns if name in right_columns)
+    if not shared:
+        return left_columns, (list(left_rows) if right_rows else [])
+    right_key = [right_columns.index(name) for name in shared]
+    keys = {tuple(row[i] for i in right_key) for row in right_rows}
+    left_key = [left_columns.index(name) for name in shared]
+    kept = [row for row in left_rows if tuple(row[i] for i in left_key) in keys]
+    return left_columns, kept
 
 
 def _bag_join(

@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.errors import PlanError, SchemaError
-from repro.plans import Join, Plan, Project, Scan, plan_key
+from repro.plans import Join, Plan, Project, Scan, Semijoin, children, plan_key
 from repro.relalg.database import Database
 from repro.relalg.joins import JoinAlgorithm, hash_join
 from repro.relalg.relation import Relation
@@ -110,47 +110,103 @@ class Engine:
             self._cache_generation = generation
 
     def _eval(self, plan: Plan, stats: ExecutionStats) -> Relation:
+        # Both paths are iterative (explicit stacks, post-order): plans
+        # thousands of operators deep — left-deep chains at Figure 6
+        # scale — evaluate without hitting the recursion limit.
         if not self._cache_size:
-            return self._eval_node(plan, stats)
-        key = plan_key(plan)
-        entry = self._cache.get(key)
-        if entry is not None:
-            self._cache.move_to_end(key)
-            result, snapshot = entry
-            stats.cache_hits += 1
-            # Replay the subtree's logical work counters so stats match a
-            # cache-free evaluation; the snapshot's rows_built and cache
-            # counters are zeroed, so only those reflect cache state.
-            stats.merge(snapshot)
-            return result
-        stats.cache_misses += 1
-        subtree = ExecutionStats()
-        result = self._eval_node(plan, subtree)
-        stats.merge(subtree)
-        # The subtree stats become the entry's replay snapshot: logical
-        # counters are kept so a hit reports the same plan cost as an
-        # uncached evaluation; rows_built and the cache counters are
-        # zeroed because a hit materializes nothing and hit/miss events
-        # are recorded per lookup, not replayed.
-        subtree.rows_built = 0
-        subtree.cache_hits = 0
-        subtree.cache_misses = 0
-        self._cache[key] = (result, subtree)
-        if len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
-        return result
+            return self._eval_uncached(plan, stats)
+        return self._eval_cached(plan, stats)
 
-    def _eval_node(self, plan: Plan, stats: ExecutionStats) -> Relation:
+    def _eval_uncached(self, plan: Plan, stats: ExecutionStats) -> Relation:
+        root: list[Relation] = []
+        # Frames are (node, destination, inputs); inputs is None until the
+        # node's children have been scheduled, then collects their results.
+        stack: list[tuple[Plan, list[Relation], list[Relation] | None]] = [
+            (plan, root, None)
+        ]
+        while stack:
+            node, dest, inputs = stack.pop()
+            if inputs is None:
+                inputs = []
+                stack.append((node, dest, inputs))
+                for child in reversed(children(node)):
+                    stack.append((child, inputs, None))
+            else:
+                dest.append(self._apply_node(node, inputs, stats))
+        return root[0]
+
+    def _eval_cached(self, plan: Plan, stats: ExecutionStats) -> Relation:
+        root: list[Relation] = []
+        # Frames are (node, destination, sink, pending): ``sink`` is the
+        # stats object this node's work lands in (the enclosing subtree's
+        # accumulator); ``pending`` is None before the cache lookup and
+        # ``(key, subtree, inputs)`` once the node is scheduled for real
+        # evaluation.
+        stack: list[
+            tuple[
+                Plan,
+                list[Relation],
+                ExecutionStats,
+                tuple[tuple, ExecutionStats, list[Relation]] | None,
+            ]
+        ] = [(plan, root, stats, None)]
+        while stack:
+            node, dest, sink, pending = stack.pop()
+            if pending is None:
+                key = plan_key(node)
+                entry = self._cache.get(key)
+                if entry is not None:
+                    self._cache.move_to_end(key)
+                    result, snapshot = entry
+                    sink.cache_hits += 1
+                    # Replay the subtree's logical work counters so stats
+                    # match a cache-free evaluation; the snapshot's
+                    # rows_built and cache counters are zeroed, so only
+                    # those reflect cache state.
+                    sink.merge(snapshot)
+                    dest.append(result)
+                    continue
+                sink.cache_misses += 1
+                subtree = ExecutionStats()
+                inputs: list[Relation] = []
+                stack.append((node, dest, sink, (key, subtree, inputs)))
+                for child in reversed(children(node)):
+                    stack.append((child, inputs, subtree, None))
+            else:
+                key, subtree, inputs = pending
+                result = self._apply_node(node, inputs, subtree)
+                sink.merge(subtree)
+                # The subtree stats become the entry's replay snapshot:
+                # logical counters are kept so a hit reports the same plan
+                # cost as an uncached evaluation; rows_built and the cache
+                # counters are zeroed because a hit materializes nothing
+                # and hit/miss events are recorded per lookup, not
+                # replayed.
+                subtree.rows_built = 0
+                subtree.cache_hits = 0
+                subtree.cache_misses = 0
+                self._cache[key] = (result, subtree)
+                if len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+                dest.append(result)
+        return root[0]
+
+    def _apply_node(
+        self, plan: Plan, inputs: list[Relation], stats: ExecutionStats
+    ) -> Relation:
+        """Apply one operator to its already-evaluated child relations."""
         if isinstance(plan, Scan):
             result = self._eval_scan(plan)
             stats.scans += 1
         elif isinstance(plan, Project):
-            child = self._eval(plan.child, stats)
-            result = child.project(plan.columns)
+            result = inputs[0].project(plan.columns)
             stats.projections += 1
+        elif isinstance(plan, Semijoin):
+            left, right = inputs
+            result = left.semijoin(right)
+            stats.semijoins += 1
         elif isinstance(plan, Join):
-            left = self._eval(plan.left, stats)
-            right = self._eval(plan.right, stats)
+            left, right = inputs
             result = self._join(left, right)
             stats.record_join(left.cardinality, right.cardinality, result.cardinality)
         else:  # pragma: no cover - exhaustive over the Plan union

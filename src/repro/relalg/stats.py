@@ -21,6 +21,8 @@ class ExecutionStats:
     ----------
     joins:
         Number of binary join operations performed.
+    semijoins:
+        Number of semijoin (reducer) operations performed.
     projections:
         Number of explicit projection operations performed.
     scans:
@@ -49,6 +51,7 @@ class ExecutionStats:
     """
 
     joins: int = 0
+    semijoins: int = 0
     projections: int = 0
     scans: int = 0
     total_intermediate_tuples: int = 0
@@ -90,6 +93,7 @@ class ExecutionStats:
     def merge(self, other: "ExecutionStats") -> None:
         """Fold another stats object into this one (for multi-plan runs)."""
         self.joins += other.joins
+        self.semijoins += other.semijoins
         self.projections += other.projections
         self.scans += other.scans
         self.total_intermediate_tuples += other.total_intermediate_tuples
@@ -109,6 +113,7 @@ class ExecutionStats:
         """Stable dict summary for reports and EXPERIMENTS.md tables."""
         return {
             "joins": self.joins,
+            "semijoins": self.semijoins,
             "projections": self.projections,
             "scans": self.scans,
             "total_intermediate_tuples": self.total_intermediate_tuples,

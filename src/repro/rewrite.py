@@ -12,20 +12,27 @@ algebraic laws the paper's methods instantiate:
 - ``push_project_into_join`` — ``π_A(P ⋈ Q) -> π_A(π_{A'}(P) ⋈ π_{A''}(Q))``
   where each side keeps its join columns plus what ``A`` needs — the
   projection-pushing law itself;
-- ``prune_join_with_projection`` — inserts a projection above a join
-  whose output feeds a narrower projection (a helper normal form).
+- ``push_project_into_semijoin`` — the same law for semijoin reducers:
+  ``π_A(P ⋉ Q) -> π_A(π_{A'}(P) ⋉ π_S(Q))`` (the right side only ever
+  matters through the shared columns ``S``);
+- ``introduce_semijoin_reducer`` — the Wong–Youssefi move, *not* in the
+  default set: rewrite ``π_A(P ⋈ Q)`` into ``π_A((P ⋉ Q) ⋈ (Q ⋉ P))``,
+  filtering each side by the other before the join materializes.
 
 Applying the full set to a *straightforward* plan mechanically derives an
 early-projection-style plan, which the tests verify never widens a plan
-and never changes its answer.
+and never changes its answer.  The driver is built on the shared visitor
+framework (:func:`repro.plans.transform`), so rewriting is iterative —
+arbitrarily deep plans rewrite without recursion — and fixpoint detection
+is an identity check, not a deep structural comparison.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
-from repro.plans import Join, Plan, Project, Scan, plan_width
+from repro.plans import Join, Plan, Project, Semijoin, plan_width, transform, walk
 
 Rule = Callable[[Plan], "Plan | None"]
 
@@ -78,11 +85,80 @@ def push_project_into_join(plan: Plan) -> Plan | None:
     return Project(Join(new_left, new_right), plan.columns)
 
 
+def push_project_into_semijoin(plan: Plan) -> Plan | None:
+    """Projection pushing through a semijoin reducer.
+
+    The left side only needs the requested columns plus the shared
+    (reduction) columns; the right side is *only* consulted on the shared
+    columns, so everything else can be projected away.  Neither move can
+    widen the plan — a semijoin's output is its left input's schema.
+
+    The right side is never projected to zero columns (a cross-semijoin
+    nonemptiness test keeps its operand), so rewritten plans stay
+    renderable as ``EXISTS`` SQL.
+    """
+    if not (isinstance(plan, Project) and isinstance(plan.child, Semijoin)):
+        return None
+    semijoin = plan.child
+    left_cols = semijoin.left.columns
+    right_cols = semijoin.right.columns
+    shared = set(left_cols) & set(right_cols)
+    wanted = set(plan.columns) | shared
+    keep_left = tuple(c for c in left_cols if c in wanted)
+    keep_right = tuple(c for c in right_cols if c in shared)
+    if not keep_right:
+        keep_right = right_cols
+    if keep_left == left_cols and keep_right == right_cols:
+        return None
+    new_left: Plan = (
+        semijoin.left if keep_left == left_cols else Project(semijoin.left, keep_left)
+    )
+    new_right: Plan = (
+        semijoin.right
+        if keep_right == right_cols
+        else Project(semijoin.right, keep_right)
+    )
+    return Project(Semijoin(new_left, new_right), plan.columns)
+
+
+def introduce_semijoin_reducer(plan: Plan) -> Plan | None:
+    """The Wong–Youssefi move: reduce both join inputs by each other
+    before the join materializes — ``π_A(P ⋈ Q)`` becomes
+    ``π_A((P ⋉ Q) ⋈ (Q ⋉ P))``.
+
+    Not in :data:`DEFAULT_RULES`: on the paper's 3-COLOR workload the
+    reducers remove nothing (Section 2) and only add work, so callers opt
+    in via :data:`SEMIJOIN_RULES`.  Guards: the join must actually share
+    variables (a cross product gains nothing from reducers) and the
+    subtree must not already contain semijoins (reducing a reducer loops
+    forever and never removes another tuple).
+    """
+    if not (isinstance(plan, Project) and isinstance(plan.child, Join)):
+        return None
+    join = plan.child
+    if not (set(join.left.columns) & set(join.right.columns)):
+        return None
+    if any(isinstance(node, Semijoin) for node in walk(join)):
+        return None
+    reduced = Join(Semijoin(join.left, join.right), Semijoin(join.right, join.left))
+    return Project(reduced, plan.columns)
+
+
 #: The default rule set, in application order.
 DEFAULT_RULES: tuple[Rule, ...] = (
     merge_adjacent_projects,
     remove_identity_project,
     push_project_into_join,
+    push_project_into_semijoin,
+)
+
+#: Default rules plus opt-in semijoin introduction (Wong–Youssefi).
+SEMIJOIN_RULES: tuple[Rule, ...] = (
+    merge_adjacent_projects,
+    remove_identity_project,
+    introduce_semijoin_reducer,
+    push_project_into_join,
+    push_project_into_semijoin,
 )
 
 
@@ -114,26 +190,21 @@ def rewrite_plan(
     """
     stats = stats if stats is not None else RewriteStats()
 
-    def apply_rules(node: Plan) -> Plan:
+    def apply_rules(node: Plan) -> Plan | None:
         for rule in rules:
             replacement = rule(node)
             if replacement is not None:
                 stats.applications += 1
                 return replacement
-        return node
-
-    def walk(node: Plan) -> Plan:
-        if isinstance(node, Join):
-            node = Join(walk(node.left), walk(node.right))
-        elif isinstance(node, Project):
-            node = Project(walk(node.child), node.columns)
-        return apply_rules(node)
+        return None
 
     current = plan
     for _ in range(max_passes):
         stats.passes += 1
-        rewritten = walk(current)
-        if rewritten == current:
+        # transform preserves identity when nothing fires, so reaching
+        # the fixpoint is an identity check — no deep comparison.
+        rewritten = transform(current, apply_rules)
+        if rewritten is current:
             return rewritten
         current = rewritten
     return current
@@ -146,14 +217,15 @@ def normalize(plan: Plan) -> Plan:
 
 
 def join_volume(plan: Plan) -> int:
-    """Sum of join-node output arities — the measure the default rules
-    never increase (``push_project_into_join`` strictly decreases it,
-    the others leave joins untouched), which is the termination argument:
-    inserting projection nodes can grow the *node count*, but never this.
+    """Sum of join- and semijoin-node output arities — the measure the
+    default rules never increase (the projection-pushing rules strictly
+    decrease it, the others leave joins untouched), which is the
+    termination argument: inserting projection nodes can grow the *node
+    count*, but never this.
     """
-    from repro.plans import iter_nodes
-
-    return sum(node.arity for node in iter_nodes(plan) if isinstance(node, Join))
+    return sum(
+        node.arity for node in walk(plan) if isinstance(node, (Join, Semijoin))
+    )
 
 
 def width_reduction(plan: Plan) -> int:

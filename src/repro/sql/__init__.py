@@ -17,6 +17,7 @@ from repro.sql.ast import (
     ColumnRef,
     Condition,
     Equality,
+    Exists,
     JoinExpr,
     Literal,
     SelectQuery,
@@ -36,6 +37,7 @@ from repro.sql.generator import (
     plan_to_sql,
     reordering_sql,
     straightforward_sql,
+    yannakakis_sql,
 )
 from repro.sql.lexer import Token, tokenize
 from repro.sql.parser import parse
@@ -55,6 +57,7 @@ __all__ = [
     "Literal",
     "Equality",
     "Condition",
+    "Exists",
     "TableRef",
     "SubqueryRef",
     "JoinExpr",
@@ -74,6 +77,7 @@ __all__ = [
     "early_projection_sql",
     "reordering_sql",
     "bucket_elimination_sql",
+    "yannakakis_sql",
     "plan_to_sql",
     "CostModel",
     "PlannerResult",

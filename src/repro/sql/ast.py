@@ -9,7 +9,9 @@ The fragment (Appendix A of the paper) is:
 - table references with positional column renaming: ``edge e1 (v1, v2)``;
 - subqueries as join operands: ``( SELECT ... ) AS t1``;
 - ``WHERE``/``ON`` conditions that are conjunctions of equalities between
-  column references (or a literal constant), plus the degenerate ``TRUE``.
+  column references (or a literal constant), plus the degenerate ``TRUE``;
+- ``EXISTS ( select-query )`` conjuncts in ``WHERE`` — the correlated
+  subqueries the generator emits for :class:`repro.plans.Semijoin` nodes.
 
 Every node renders back to SQL text via :func:`render`; the pretty printer
 nests subqueries with indentation, matching the paper's listings closely
@@ -61,20 +63,40 @@ class Equality:
 
 
 @dataclass(frozen=True)
+class Exists:
+    """One ``EXISTS ( select-query )`` conjunct.
+
+    The inner query may reference the enclosing scope's aliases (a
+    correlated subquery); this is how semijoins render without widening
+    the outer schema.
+    """
+
+    query: "SelectQuery"
+
+    def __str__(self) -> str:
+        inner = _render_query(self.query, 1)
+        return f"EXISTS (\n{inner})"
+
+
+@dataclass(frozen=True)
 class Condition:
-    """A conjunction of equalities; empty means ``TRUE``."""
+    """A conjunction of equalities and ``EXISTS`` tests; empty means
+    ``TRUE``."""
 
     equalities: tuple[Equality, ...] = ()
+    exists: tuple["Exists", ...] = ()
 
     @property
     def is_true(self) -> bool:
         """Whether this is the trivial ``TRUE`` condition."""
-        return not self.equalities
+        return not self.equalities and not self.exists
 
     def __str__(self) -> str:
         if self.is_true:
             return "TRUE"
-        return " AND ".join(str(eq) for eq in self.equalities)
+        conjuncts = [str(eq) for eq in self.equalities]
+        conjuncts.extend(str(ex) for ex in self.exists)
+        return " AND ".join(conjuncts)
 
 
 @dataclass(frozen=True)
@@ -181,28 +203,45 @@ def _render_right_operand(item: FromItem, indent: int) -> str:
 
 
 def iter_subqueries(query: SelectQuery):
-    """Yield ``query`` and every nested subquery, outermost first."""
-    yield query
-    stack: list[FromItem] = list(query.from_items)
-    while stack:
-        item = stack.pop()
-        if isinstance(item, SubqueryRef):
-            yield from iter_subqueries(item.query)
-        elif isinstance(item, JoinExpr):
-            stack.append(item.left)
-            stack.append(item.right)
+    """Yield ``query`` and every nested subquery (including ``EXISTS``
+    bodies), outermost first."""
+    queries: list[SelectQuery] = [query]
+    while queries:
+        current = queries.pop()
+        yield current
+        for ex in current.where.exists:
+            queries.append(ex.query)
+        stack: list[FromItem] = list(current.from_items)
+        while stack:
+            item = stack.pop()
+            if isinstance(item, SubqueryRef):
+                queries.append(item.query)
+            elif isinstance(item, JoinExpr):
+                stack.append(item.left)
+                stack.append(item.right)
+                for ex in item.condition.exists:
+                    queries.append(ex.query)
 
 
 def subquery_depth(query: SelectQuery) -> int:
-    """Maximum nesting depth of subqueries (1 for a flat query)."""
+    """Maximum nesting depth of subqueries (1 for a flat query).
+
+    ``EXISTS`` bodies count as nested subqueries too."""
     depth = 1
-    stack: list[tuple[FromItem, int]] = [(item, 1) for item in query.from_items]
-    while stack:
-        item, level = stack.pop()
-        if isinstance(item, SubqueryRef):
-            depth = max(depth, level + 1)
-            stack.extend((i, level + 1) for i in item.query.from_items)
-        elif isinstance(item, JoinExpr):
-            stack.append((item.left, level))
-            stack.append((item.right, level))
+    queries: list[tuple[SelectQuery, int]] = [(query, 1)]
+    while queries:
+        current, level = queries.pop()
+        depth = max(depth, level)
+        for ex in current.where.exists:
+            queries.append((ex.query, level + 1))
+        stack: list[tuple[FromItem, int]] = [(item, level) for item in current.from_items]
+        while stack:
+            item, item_level = stack.pop()
+            if isinstance(item, SubqueryRef):
+                queries.append((item.query, item_level + 1))
+            elif isinstance(item, JoinExpr):
+                stack.append((item.left, item_level))
+                stack.append((item.right, item_level))
+                for ex in item.condition.exists:
+                    queries.append((ex.query, item_level + 1))
     return depth

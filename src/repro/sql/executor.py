@@ -25,6 +25,7 @@ from repro.sql.ast import (
     ColumnRef,
     Condition,
     Equality,
+    Exists,
     FromItem,
     JoinExpr,
     Literal,
@@ -103,6 +104,8 @@ class _Executor:
         if pending:
             dangling = ", ".join(str(eq) for eq in pending)
             raise SqlSemanticError(f"WHERE references unknown columns: {dangling}")
+        for exists in query.where.exists:
+            current = self._semijoin_exists(current, exists)
         return self._project_select(query, current)
 
     # ------------------------------------------------------------------
@@ -201,6 +204,80 @@ class _Executor:
         return current, still_pending
 
     # ------------------------------------------------------------------
+    def _semijoin_exists(self, outer: Relation, exists: Exists) -> Relation:
+        """Filter ``outer`` by one ``EXISTS`` conjunct — the relational
+        semijoin.
+
+        The inner query is evaluated in its own scope; WHERE conjuncts
+        that reference the enclosing scope (correlated equalities) become
+        the semijoin condition.  An uncorrelated ``EXISTS`` degenerates to
+        a nonemptiness filter, matching ``Relation.semijoin``.
+        """
+        query = exists.query
+        _check_alias_uniqueness(query)
+        inner: Relation | None = None
+        pending = list(query.where.equalities)
+        for item in query.from_items:
+            relation = self._eval_from_item(item)
+            if inner is None:
+                inner = relation
+            else:
+                inner = self._merge(inner, relation, pending_only=False, pairs=())
+            inner, pending = self._apply_pending(inner, pending)
+        assert inner is not None  # grammar guarantees >= 1 FROM item
+        for nested in query.where.exists:
+            inner = self._semijoin_exists(inner, nested)
+        # Whatever is still pending must correlate with the enclosing
+        # scope: equalities between one inner and one outer column, or
+        # filters on outer columns.
+        outer_columns = set(outer.columns)
+        inner_columns = set(inner.columns)
+        pairs: list[tuple[str, str]] = []  # (inner column, outer column)
+        for equality in pending:
+            left_op, right_op = equality.left, equality.right
+            if isinstance(left_op, ColumnRef) and isinstance(right_op, ColumnRef):
+                a = f"{left_op.table}.{left_op.column}"
+                b = f"{right_op.table}.{right_op.column}"
+                if a in inner_columns and b in outer_columns:
+                    pairs.append((a, b))
+                    continue
+                if b in inner_columns and a in outer_columns:
+                    pairs.append((b, a))
+                    continue
+            else:
+                ref = left_op if isinstance(left_op, ColumnRef) else right_op
+                if isinstance(ref, ColumnRef):
+                    name = f"{ref.table}.{ref.column}"
+                    if name in outer_columns:
+                        outer = _apply_equality(outer, equality)
+                        continue
+            raise SqlSemanticError(
+                f"EXISTS condition references unknown columns: {equality}"
+            )
+        keep: list[str] = []
+        rename: dict[str, str] = {}
+        for inner_col, outer_col in pairs:
+            if inner_col in rename:
+                if rename[inner_col] != outer_col:
+                    # One inner column equated with two outer columns:
+                    # those outer columns must also agree with each other.
+                    outer = outer.select_col_eq(rename[inner_col], outer_col)
+                continue
+            if outer_col in rename.values():
+                # Two inner columns equated with the same outer column:
+                # they must agree within the inner result.
+                prior = next(ic for ic, oc in rename.items() if oc == outer_col)
+                inner = inner.select_col_eq(prior, inner_col)
+                continue
+            rename[inner_col] = outer_col
+            keep.append(inner_col)
+        witness = inner.project(keep).rename(rename)
+        result = outer.semijoin(witness)
+        self._stats.semijoins += 1
+        self._stats.record_output(result.cardinality, result.arity)
+        return result
+
+    # ------------------------------------------------------------------
     def _project_select(self, query: SelectQuery, current: Relation) -> Relation:
         qualified = []
         for ref in query.select:
@@ -240,6 +317,8 @@ def _split_condition(
     pairs: list[tuple[str, str]] = []
     left_filters: list[tuple[str, object]] = []
     right_filters: list[tuple[str, object]] = []
+    if condition.exists:
+        raise SqlSemanticError("EXISTS is only supported in WHERE clauses, not ON")
     for equality in condition.equalities:
         left_op, right_op = equality.left, equality.right
         if isinstance(left_op, Literal) and isinstance(right_op, Literal):

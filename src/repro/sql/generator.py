@@ -29,11 +29,12 @@ from repro.core.early_projection import early_projection_plan, straightforward_p
 from repro.core.query import ConjunctiveQuery
 from repro.core.reordering import reordering_plan
 from repro.errors import SqlSemanticError
-from repro.plans import Join, Plan, Project, Scan
+from repro.plans import Join, Plan, Project, Scan, Semijoin
 from repro.sql.ast import (
     ColumnRef,
     Condition,
     Equality,
+    Exists,
     FromItem,
     JoinExpr,
     Literal,
@@ -201,6 +202,10 @@ def _render_select(node: Project, aliases: _Aliases) -> SelectQuery:
             "intermediate projection to zero columns is not expressible in "
             "the SQL subset"
         )
+    if isinstance(node.child, Semijoin):
+        # Project over a semijoin renders as one SELECT with an EXISTS
+        # conjunct, not a subquery wrapped in another SELECT.
+        return _render_semijoin(node.child, aliases, out_columns=node.columns)
     units = [_as_unit(child, aliases) for child in _flatten_joins(node.child)]
     from_item = _fold_units(units)
     select = tuple(_provider_ref(units, column) for column in node.columns)
@@ -211,11 +216,56 @@ def _render_select(node: Project, aliases: _Aliases) -> SelectQuery:
     return SelectQuery(select=select, from_items=(from_item,), where=where)
 
 
+def _render_semijoin(
+    node: Semijoin, aliases: _Aliases, out_columns: tuple[str, ...] | None = None
+) -> SelectQuery:
+    """Render ``left ⋉ right`` as the left side's SELECT with a correlated
+    ``EXISTS`` subquery over the right side — the standard SQL spelling of
+    a semijoin, and the one the parser maps back to :class:`Semijoin`."""
+    if not node.right.columns:
+        raise SqlSemanticError(
+            "cannot render a semijoin against a 0-ary operand as SQL"
+        )
+    left_units = [_as_unit(child, aliases) for child in _flatten_joins(node.left)]
+    from_item = _fold_units(left_units)
+    columns = node.columns if out_columns is None else out_columns
+    select = tuple(_provider_ref(left_units, column) for column in columns)
+    outer_equalities: list[Equality] = []
+    if len(left_units) == 1:
+        outer_equalities.extend(left_units[0].self_conditions)
+
+    right_units = [_as_unit(child, aliases) for child in _flatten_joins(node.right)]
+    right_from = _fold_units(right_units)
+    inner_equalities: list[Equality] = []
+    if len(right_units) == 1:
+        inner_equalities.extend(right_units[0].self_conditions)
+    right_columns = set(node.right.columns)
+    for variable in node.columns:
+        if variable in right_columns:
+            inner_equalities.append(
+                Equality(
+                    _provider_ref(right_units, variable),
+                    _provider_ref(left_units, variable),
+                )
+            )
+    inner = SelectQuery(
+        select=(_provider_ref(right_units, node.right.columns[0]),),
+        from_items=(right_from,),
+        where=Condition(tuple(inner_equalities)),
+    )
+    where = Condition(tuple(outer_equalities), (Exists(inner),))
+    return SelectQuery(select=select, from_items=(from_item,), where=where)
+
+
 def _flatten_joins(plan: Plan) -> list[Plan]:
     """Flatten a left-deep join chain into its operands, listed order."""
-    if isinstance(plan, Join):
-        return _flatten_joins(plan.left) + [plan.right]
-    return [plan]
+    operands: list[Plan] = []
+    while isinstance(plan, Join):
+        operands.append(plan.right)
+        plan = plan.left
+    operands.append(plan)
+    operands.reverse()
+    return operands
 
 
 def _as_unit(plan: Plan, aliases: _Aliases) -> _Unit:
@@ -223,6 +273,11 @@ def _as_unit(plan: Plan, aliases: _Aliases) -> _Unit:
         return _scan_unit(plan, aliases)
     if isinstance(plan, Project):
         subquery = _render_select(plan, aliases)
+        alias = aliases.subquery_alias()
+        exposes = {column: column for column in plan.columns}
+        return _Unit(SubqueryRef(subquery, alias), alias, exposes)
+    if isinstance(plan, Semijoin):
+        subquery = _render_semijoin(plan, aliases)
         alias = aliases.subquery_alias()
         exposes = {column: column for column in plan.columns}
         return _Unit(SubqueryRef(subquery, alias), alias, exposes)
@@ -347,24 +402,36 @@ def bucket_elimination_sql(
     return plan_to_sql(bucket_plan.plan, query)
 
 
+def yannakakis_sql(query: ConjunctiveQuery) -> SelectQuery:
+    """Section 7's semijoin direction: the plan-level Yannakakis method —
+    full-reducer semijoin passes rendered as correlated ``EXISTS``
+    subqueries, then the projecting join phase.  Acyclic queries only
+    (raises :class:`~repro.errors.QueryStructureError` otherwise)."""
+    from repro.core.semijoins import yannakakis_plan
+
+    return plan_to_sql(yannakakis_plan(query), query)
+
+
 def generate_sql(
     query: ConjunctiveQuery,
     method: str,
     rng: random.Random | None = None,
 ) -> str:
     """Render ``query`` to SQL text with the chosen method (one of
-    :data:`SQL_METHODS`)."""
+    :data:`SQL_METHODS`, or ``"yannakakis"`` for acyclic queries)."""
     builders = {
         "naive": lambda: naive_sql(query),
         "straightforward": lambda: straightforward_sql(query),
         "early": lambda: early_projection_sql(query),
         "reordering": lambda: reordering_sql(query, rng=rng),
         "bucket": lambda: bucket_elimination_sql(query, rng=rng),
+        "yannakakis": lambda: yannakakis_sql(query),
     }
     try:
         builder = builders[method]
     except KeyError:
         raise SqlSemanticError(
-            f"unknown SQL method {method!r}; expected one of {SQL_METHODS}"
+            f"unknown SQL method {method!r}; expected one of "
+            f"{SQL_METHODS + ('yannakakis',)}"
         ) from None
     return render(builder())

@@ -13,7 +13,18 @@ from dataclasses import dataclass
 from repro.errors import SqlSyntaxError
 
 KEYWORDS = frozenset(
-    {"SELECT", "DISTINCT", "FROM", "WHERE", "JOIN", "ON", "AND", "AS", "TRUE"}
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "JOIN",
+        "ON",
+        "AND",
+        "AS",
+        "TRUE",
+        "EXISTS",
+    }
 )
 
 PUNCTUATION = frozenset({"(", ")", ",", ".", "=", ";"})

@@ -10,7 +10,8 @@ Grammar (see :mod:`repro.sql.ast` for the node types)::
                  | "(" query ")" AS ident                         -- subquery
                  | "(" from_item ")"                              -- grouped join
     table_ref   := ident ident "(" ident ("," ident)* ")"
-    cond        := TRUE | equality (AND equality)*
+    cond        := TRUE | conjunct (AND conjunct)*
+    conjunct    := equality | EXISTS "(" query ")"
     equality    := atom "=" atom
     atom        := column_ref | NUMBER | STRING
     column_ref  := ident "." ident
@@ -27,6 +28,7 @@ from repro.sql.ast import (
     ColumnRef,
     Condition,
     Equality,
+    Exists,
     FromItem,
     JoinExpr,
     Literal,
@@ -177,11 +179,30 @@ class _Parser:
         if self.at_keyword("TRUE"):
             self.advance()
             return Condition()
-        equalities = [self.parse_equality()]
+        equalities: list[Equality] = []
+        exists: list[Exists] = []
+        self.parse_conjunct(equalities, exists)
         while self.at_keyword("AND"):
             self.advance()
+            self.parse_conjunct(equalities, exists)
+        return Condition(tuple(equalities), tuple(exists))
+
+    def parse_conjunct(
+        self, equalities: list[Equality], exists: list[Exists]
+    ) -> None:
+        if self.at_keyword("EXISTS"):
+            self.advance()
+            self.expect_punct("(")
+            query = self.parse_query()
+            if self.at_punct(";"):
+                raise SqlSyntaxError(
+                    "EXISTS subquery must not end with ';'",
+                    position=self.peek().position,
+                )
+            self.expect_punct(")")
+            exists.append(Exists(query))
+        else:
             equalities.append(self.parse_equality())
-        return Condition(tuple(equalities))
 
     def parse_equality(self) -> Equality:
         left = self.parse_operand()

@@ -13,7 +13,7 @@ import networkx as nx
 
 from repro.core.query import ConjunctiveQuery
 from repro.core.tree_decomposition import TreeDecomposition
-from repro.plans import Join, Plan, Project, Scan
+from repro.plans import Plan, Project, Scan, Semijoin, children
 
 
 def _quote(text: str) -> str:
@@ -21,30 +21,45 @@ def _quote(text: str) -> str:
     return f'"{escaped}"'
 
 
+def _plan_node_label(node: Plan) -> str:
+    if isinstance(node, Scan):
+        return f"Scan {node.relation}({', '.join(node.variables)})"
+    if isinstance(node, Project):
+        return f"π[{', '.join(node.columns) or '∅'}]"
+    if isinstance(node, Semijoin):
+        return f"⋉ (arity {node.arity})"
+    return f"⋈ (arity {node.arity})"
+
+
 def plan_to_dot(plan: Plan, title: str = "plan") -> str:
-    """DOT digraph of a plan tree, nodes labelled with operator + arity."""
+    """DOT digraph of a plan tree, nodes labelled with operator + arity.
+
+    Iterative (explicit task stack) so arbitrarily deep plans export
+    without recursion.  Node ids are assigned in pre-order and each
+    parent→child edge line follows the child's entire subtree, matching
+    the historical (recursive) output byte for byte.
+    """
     lines = [f"digraph {_quote(title)} {{", "  node [shape=box];"]
     counter = 0
-
-    def walk(node: Plan) -> str:
-        nonlocal counter
+    # ref-cells let an "edge" task read the id a later "visit" assigns
+    root_ref: list[str] = []
+    tasks: list[tuple[str, object, list[str]]] = [("visit", plan, root_ref)]
+    while tasks:
+        kind, payload, ref = tasks.pop()
+        if kind == "edge":
+            lines.append(f"  {payload} -> {ref[0]};")
+            continue
+        node = payload
         my_id = f"n{counter}"
         counter += 1
-        if isinstance(node, Scan):
-            label = f"Scan {node.relation}({', '.join(node.variables)})"
-        elif isinstance(node, Project):
-            label = f"π[{', '.join(node.columns) or '∅'}]"
-        else:
-            label = f"⋈ (arity {node.arity})"
-        lines.append(f"  {my_id} [label={_quote(label)}];")
-        if isinstance(node, Project):
-            lines.append(f"  {my_id} -> {walk(node.child)};")
-        elif isinstance(node, Join):
-            lines.append(f"  {my_id} -> {walk(node.left)};")
-            lines.append(f"  {my_id} -> {walk(node.right)};")
-        return my_id
-
-    walk(plan)
+        ref.append(my_id)
+        lines.append(f"  {my_id} [label={_quote(_plan_node_label(node))}];")
+        pending: list[tuple[str, object, list[str]]] = []
+        for child in children(node):
+            child_ref: list[str] = []
+            pending.append(("visit", child, child_ref))
+            pending.append(("edge", my_id, child_ref))
+        tasks.extend(reversed(pending))
     lines.append("}")
     return "\n".join(lines)
 

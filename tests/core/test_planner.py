@@ -7,8 +7,14 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.planner import METHODS, plan_query
-from repro.errors import PlanError
+from repro.core.semijoins import is_acyclic
+from repro.errors import PlanError, QueryStructureError
 from repro.plans import plan_width
+
+#: The paper's own five methods — "yannakakis" (Section 7's semijoin
+#: direction) additionally requires acyclicity, so cyclic-workload tests
+#: iterate these and cover "yannakakis" via its QueryStructureError path.
+PAPER_METHODS = METHODS[:5]
 from repro.relalg.database import edge_database
 from repro.relalg.engine import evaluate
 from repro.workloads.coloring import (
@@ -30,14 +36,20 @@ def test_methods_tuple_matches_paper_order():
         "reordering",
         "bucket",
         "jointree",
+        "yannakakis",
     )
 
 
-@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("method", PAPER_METHODS)
 def test_each_method_executes(pentagon_instance, method):
     plan = plan_query(pentagon_instance.query, method, rng=random.Random(0))
     result, _ = evaluate(plan, pentagon_instance.database)
     assert result.cardinality == 3
+
+
+def test_yannakakis_rejects_cyclic_pentagon(pentagon_instance):
+    with pytest.raises(QueryStructureError, match="acyclic"):
+        plan_query(pentagon_instance.query, "yannakakis")
 
 
 def test_width_ordering_on_pentagon(pentagon_instance):
@@ -45,7 +57,7 @@ def test_width_ordering_on_pentagon(pentagon_instance):
     wide as its predecessors on the running example."""
     widths = {
         method: plan_width(plan_query(pentagon_instance.query, method))
-        for method in METHODS
+        for method in PAPER_METHODS
     }
     assert widths["jointree"] <= widths["bucket"] <= widths["reordering"]
     assert widths["bucket"] <= widths["early"] <= widths["straightforward"]
@@ -78,11 +90,15 @@ def color_instances(draw):
 @given(color_instances())
 def test_all_methods_agree_with_oracle(pair):
     """The grand agreement property: every method's answer equals the
-    brute-force 3-colorability oracle on random instances."""
+    brute-force 3-colorability oracle on random instances ("yannakakis"
+    joins in whenever the instance happens to be acyclic)."""
     graph, query = pair
     database = edge_database()
     expected = is_colorable_brute_force(graph)
-    for method in METHODS:
+    methods = list(PAPER_METHODS)
+    if is_acyclic(query):
+        methods.append("yannakakis")
+    for method in methods:
         plan = plan_query(query, method, rng=random.Random(42))
         result, _ = evaluate(plan, database)
         assert (not result.is_empty()) == expected, method
@@ -94,7 +110,10 @@ def test_all_methods_same_answer_relation(pair):
     _, query = pair
     database = edge_database()
     reference, _ = evaluate(plan_query(query, "straightforward"), database)
-    for method in METHODS[1:]:
+    methods = list(PAPER_METHODS[1:])
+    if is_acyclic(query):
+        methods.append("yannakakis")
+    for method in methods:
         result, _ = evaluate(plan_query(query, method, rng=random.Random(1)), database)
         assert result == reference, method
 

@@ -162,10 +162,17 @@ class TestYannakakis:
         assert result.cardinality == 9
 
     def test_stats_populated(self):
+        """Stats reflect the compiled plan's logical operator tree: every
+        atom is scanned at least once (shared reduction chains recount
+        their scans at each occurrence), the full reducer runs semijoins,
+        and the join phase joins the reduced atoms."""
         stats = ExecutionStats()
         yannakakis_evaluate(coloring_query(path(3)), edge_database(), stats=stats)
-        assert stats.scans == 3
+        assert stats.scans >= 3
+        assert stats.semijoins >= 2
         assert stats.joins >= 2
+        # The engine's CSE cache materializes each shared chain once.
+        assert stats.cache_hits > 0
 
     @given(st.integers(min_value=0, max_value=300))
     def test_random_forests_agree_with_bucket(self, seed):

@@ -43,6 +43,7 @@ def test_summary_is_plain_ints():
     assert summary["total_intermediate_tuples"] == 3
     assert set(summary) == {
         "joins",
+        "semijoins",
         "projections",
         "scans",
         "total_intermediate_tuples",

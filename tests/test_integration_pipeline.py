@@ -50,12 +50,17 @@ def color_instances(draw):
 @settings(max_examples=25)
 def test_everything_agrees_on_color_instances(pair):
     """One instance, eleven evaluation routes, one answer."""
+    from repro.core import is_acyclic
+
     graph, instance = pair
     db = instance.database
     answers = set()
 
-    # Five plan-level methods.
+    # The plan-level methods ("yannakakis" only when the instance
+    # happens to be acyclic — it rejects cycles by design).
     for method in METHODS:
+        if method == "yannakakis" and not is_acyclic(instance.query):
+            continue
         result, _ = evaluate(plan_query(instance.query, method, rng=random.Random(0)), db)
         answers.add(frozenset(result.reorder(tuple(sorted(result.columns))).rows))
 

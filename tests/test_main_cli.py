@@ -59,6 +59,10 @@ class TestCommands:
         assert main(["sql", RULE, "--method", "jointree"]) == 0
         assert "SELECT" in capsys.readouterr().out
 
+    def test_sql_yannakakis_emits_exists(self, capsys):
+        assert main(["sql", RULE, "--method", "yannakakis"]) == 0
+        assert "EXISTS" in capsys.readouterr().out
+
     def test_run(self, capsys, db_dir):
         assert main(["run", RULE, "--db", db_dir]) == 0
         out = capsys.readouterr().out
@@ -107,8 +111,12 @@ class TestCommands:
         assert main(["minimize", "q(X) :- edge(X, Y)."]) == 0
         assert "already minimal" in capsys.readouterr().out
 
-    @pytest.mark.parametrize("method", ["straightforward", "early", "reordering", "bucket", "jointree"])
+    @pytest.mark.parametrize(
+        "method",
+        ["straightforward", "early", "reordering", "bucket", "jointree", "yannakakis"],
+    )
     def test_every_method_plans(self, capsys, method):
+        # RULE is an acyclic chain, so even "yannakakis" plans it.
         assert main(["plan", RULE, "--method", method]) == 0
 
 

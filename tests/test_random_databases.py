@@ -84,9 +84,13 @@ def _brute_force_answers(query, database):
 @given(random_setups())
 @settings(max_examples=40)
 def test_all_methods_match_brute_force(setup):
+    from repro.core import is_acyclic
+
     query, database = setup
     expected = _brute_force_answers(query, database)
     for method in METHODS:
+        if method == "yannakakis" and not is_acyclic(query):
+            continue  # rejects cyclic queries by design
         result, _ = evaluate(
             plan_query(query, method, rng=random.Random(0)), database
         )

@@ -11,11 +11,11 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.plans import Join, Plan, Project, Scan, plan_width, validate_plan
+from repro.plans import Join, Plan, Project, Scan, Semijoin, plan_width, validate_plan
 from repro.relalg.bag_engine import bag_evaluate
 from repro.relalg.database import edge_database
 from repro.relalg.engine import evaluate
-from repro.rewrite import normalize
+from repro.rewrite import SEMIJOIN_RULES, normalize, rewrite_plan
 from repro.sql.executor import execute
 from repro.sql.generator import plan_to_sql
 from repro.sql.parser import parse
@@ -31,10 +31,11 @@ def random_plans(draw, depth: int = 0) -> Plan:
         u = draw(st.sampled_from(VARIABLES))
         v = draw(st.sampled_from([x for x in VARIABLES if x != u]))
         return Scan("edge", (u, v))
-    if draw(st.booleans()):
+    operator = draw(st.sampled_from(["join", "semijoin", "project"]))
+    if operator in ("join", "semijoin"):
         left = draw(random_plans(depth=depth + 1))
         right = draw(random_plans(depth=depth + 1))
-        return Join(left, right)
+        return Join(left, right) if operator == "join" else Semijoin(left, right)
     child = draw(random_plans(depth=depth + 1))
     columns = list(child.columns)
     keep_count = draw(st.integers(min_value=1, max_value=len(columns)))
@@ -70,6 +71,21 @@ def test_rewrite_soundness_on_bushy_plans(plan):
     db = edge_database()
     expected, _ = evaluate(plan, db)
     rewritten = normalize(plan)
+    got, _ = evaluate(rewritten, db)
+    assert got == expected
+    assert plan_width(rewritten) <= plan_width(plan)
+
+
+@given(random_plans())
+@settings(max_examples=60)
+def test_semijoin_rules_sound_and_never_widen(plan):
+    """The opt-in Wong–Youssefi rule set: same answers, never wider.
+
+    Semijoin introduction adds nodes but each new node's output schema is
+    its left input's, so the plan's width cannot grow."""
+    db = edge_database()
+    expected, _ = evaluate(plan, db)
+    rewritten = rewrite_plan(plan, rules=SEMIJOIN_RULES)
     got, _ = evaluate(rewritten, db)
     assert got == expected
     assert plan_width(rewritten) <= plan_width(plan)

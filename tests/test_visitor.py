@@ -1,0 +1,127 @@
+"""The shared plan-visitor framework: walk/transform/children semantics.
+
+Every plan consumer (engines, SQL generator, rewriter, explain, viz) is
+built on these three functions, so their contracts — post-order,
+bottom-up rebuilding, identity preservation — are pinned here once
+rather than re-tested per consumer.
+"""
+
+from repro.plans import (
+    Join,
+    Project,
+    Scan,
+    Semijoin,
+    children,
+    transform,
+    walk,
+    with_children,
+)
+
+A = Scan("edge", ("a", "b"))
+B = Scan("edge", ("b", "c"))
+
+
+def small_tree():
+    return Project(Join(Semijoin(A, B), B), ("a",))
+
+
+class TestChildren:
+    def test_arity_per_operator(self):
+        assert children(A) == ()
+        assert children(Join(A, B)) == (A, B)
+        assert children(Semijoin(A, B)) == (A, B)
+        assert children(Project(A, ("a",))) == (A,)
+
+    def test_with_children_identity_when_unchanged(self):
+        node = Join(A, B)
+        assert with_children(node, (A, B)) is node
+
+    def test_with_children_rebuilds_on_change(self):
+        node = Join(A, B)
+        replacement = Scan("edge", ("a", "c"))
+        rebuilt = with_children(node, (replacement, B))
+        assert rebuilt == Join(replacement, B)
+        assert rebuilt is not node
+
+
+class TestWalk:
+    def test_postorder_children_before_parents(self):
+        tree = small_tree()
+        seen: list[int] = []
+        positions: dict[int, int] = {}
+        for node in walk(tree):
+            positions[id(node)] = len(seen)
+            seen.append(id(node))
+            for child in children(node):
+                assert positions[id(child)] < positions[id(node)]
+        assert seen[-1] == id(tree)
+
+    def test_left_before_right(self):
+        left, right = Semijoin(A, B), Join(B, A)
+        order = [id(n) for n in walk(Join(left, right))]
+        assert order.index(id(left)) < order.index(id(right))
+
+    def test_shared_subtree_yields_once_per_occurrence(self):
+        shared = Join(A, B)
+        tree = Join(shared, shared)
+        assert sum(1 for node in walk(tree) if node is shared) == 2
+
+
+class TestTransform:
+    def test_no_op_returns_same_object(self):
+        tree = small_tree()
+        assert transform(tree, lambda node: None) is tree
+
+    def test_untouched_siblings_preserved_by_identity(self):
+        semi = Semijoin(A, B)
+        tree = Join(semi, B)
+
+        def widen_scans(node):
+            if isinstance(node, Scan) and node.variables == ("b", "c"):
+                return Scan("edge", ("b", "d"))
+            return None
+
+        rebuilt = transform(tree, widen_scans)
+        assert rebuilt.left is not semi  # its right scan was replaced
+        assert rebuilt.left.left is A  # untouched leaf kept by identity
+        assert rebuilt.right == Scan("edge", ("b", "d"))
+
+    def test_bottom_up_parent_sees_rebuilt_children(self):
+        tree = Join(Project(A, ("a",)), B)
+        seen_children = []
+
+        def record(node):
+            if isinstance(node, Join):
+                seen_children.append(node.left)
+            if isinstance(node, Project):
+                return node.child  # strip projections
+            return None
+
+        transform(tree, record)
+        assert seen_children == [A]
+
+    def test_shared_subtree_transformed_consistently(self):
+        shared = Semijoin(A, B)
+        tree = Join(shared, shared)
+        calls = []
+
+        def count(node):
+            calls.append(node)
+            return None
+
+        transform(tree, count)
+        # memoized by identity: the shared subtree is offered once
+        assert sum(1 for node in calls if node is shared) == 1
+
+    def test_replacement_is_not_revisited_in_same_pass(self):
+        offered = []
+
+        def swap_semijoin_for_join(node):
+            offered.append(node)
+            if isinstance(node, Semijoin):
+                return Join(node.left, node.right)
+            return None
+
+        rebuilt = transform(Semijoin(A, B), swap_semijoin_for_join)
+        assert rebuilt == Join(A, B)
+        assert all(not isinstance(node, Join) for node in offered)
