@@ -54,3 +54,38 @@ def test_non_boolean(benchmark, method):
     bench_execution(
         benchmark, "fig6 augpath nonboolean order=5", method, query, database
     )
+
+
+# ----------------------------------------------------------------------
+# Standalone harness driver (python benchmarks/bench_fig6_augpath.py)
+# ----------------------------------------------------------------------
+#: (group, method, order, free_fraction) — mirrors the pytest points.
+POINTS = (
+    [(f"fig6 augpath order={o}", m, o, 0.0) for o in (4, 6) for m in METHODS]
+    + [(f"fig6 augpath order={o} (fast methods)", m, o, 0.0)
+       for o in (8, 10) for m in ("early", "bucket")]
+    + [(f"fig6 augpath order={o} (bucket only)", "bucket", o, 0.0)
+       for o in (14, 20)]
+    + [("fig6 augpath nonboolean order=5", m, 5, 0.2) for m in METHODS]
+)
+
+
+def harness_cases():
+    from _harness import Case
+
+    cases = []
+    for group, method, order, free_fraction in POINTS:
+        query, database = structured_workload(
+            "augmented_path", order, free_fraction
+        )
+        cases.append(
+            Case(group=group, method=method, query=query, database=database)
+        )
+    return cases
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import run_main
+    sys.exit(run_main("fig6_augpath", harness_cases))

@@ -38,3 +38,34 @@ def test_non_boolean(benchmark, method):
     bench_execution(
         benchmark, "fig7 ladder nonboolean order=5", method, query, database
     )
+
+
+# ----------------------------------------------------------------------
+# Standalone harness driver (python benchmarks/bench_fig7_ladder.py)
+# ----------------------------------------------------------------------
+#: (group, method, order, free_fraction) — mirrors the pytest points.
+POINTS = (
+    [(f"fig7 ladder order={o}", m, o, 0.0) for o in (4, 7) for m in METHODS]
+    + [(f"fig7 ladder order={o} (fast methods)", m, o, 0.0)
+       for o in (10, 14) for m in ("early", "bucket")]
+    + [("fig7 ladder nonboolean order=5", m, 5, 0.2) for m in METHODS]
+)
+
+
+def harness_cases():
+    from _harness import Case
+
+    cases = []
+    for group, method, order, free_fraction in POINTS:
+        query, database = structured_workload("ladder", order, free_fraction)
+        cases.append(
+            Case(group=group, method=method, query=query, database=database)
+        )
+    return cases
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import run_main
+    sys.exit(run_main("fig7_ladder", harness_cases))

@@ -71,3 +71,40 @@ def test_non_boolean(benchmark, method):
     bench_execution(
         benchmark, "fig8 augladder nonboolean order=4", method, query, database
     )
+
+
+# ----------------------------------------------------------------------
+# Standalone harness driver (python benchmarks/bench_fig8_augladder.py)
+# ----------------------------------------------------------------------
+#: (group, method, order, free_fraction) — mirrors the pytest points
+#: (minus the warm-plan-cache point, which is not an execution benchmark).
+POINTS = (
+    [(f"fig8 augladder order={o}", m, o, 0.0) for o in (3, 4) for m in METHODS]
+    + [("fig8 augladder order=6 (fast methods)", m, 6, 0.0)
+       for m in ("early", "bucket")]
+    + [(f"fig8 augladder order={o} (bucket only)", "bucket", o, 0.0)
+       for o in (9, 12)]
+    + [("fig8 augladder nonboolean order=4", m, 4, 0.2)
+       for m in ("early", "bucket")]
+)
+
+
+def harness_cases():
+    from _harness import Case
+
+    cases = []
+    for group, method, order, free_fraction in POINTS:
+        query, database = structured_workload(
+            "augmented_ladder", order, free_fraction
+        )
+        cases.append(
+            Case(group=group, method=method, query=query, database=database)
+        )
+    return cases
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import run_main
+    sys.exit(run_main("fig8_augladder", harness_cases))

@@ -51,3 +51,40 @@ def test_non_boolean(benchmark, method):
         benchmark, "fig9 augcircladder nonboolean order=4",
         method, query, database,
     )
+
+
+# ----------------------------------------------------------------------
+# Standalone harness driver (python benchmarks/bench_fig9_augcircladder.py)
+# ----------------------------------------------------------------------
+#: (group, method, order, free_fraction) — mirrors the pytest points.
+POINTS = (
+    [(f"fig9 augcircladder order={o}", m, o, 0.0)
+     for o in (3, 4) for m in METHODS]
+    + [("fig9 augcircladder order=5 (fast methods)", m, 5, 0.0)
+       for m in ("early", "bucket")]
+    + [(f"fig9 augcircladder order={o} (bucket only)", "bucket", o, 0.0)
+       for o in (8, 11)]
+    + [("fig9 augcircladder nonboolean order=4", m, 4, 0.2)
+       for m in ("early", "bucket")]
+)
+
+
+def harness_cases():
+    from _harness import Case
+
+    cases = []
+    for group, method, order, free_fraction in POINTS:
+        query, database = structured_workload(
+            "augmented_circular_ladder", order, free_fraction
+        )
+        cases.append(
+            Case(group=group, method=method, query=query, database=database)
+        )
+    return cases
+
+
+if __name__ == "__main__":
+    import sys
+
+    from _harness import run_main
+    sys.exit(run_main("fig9_augcircladder", harness_cases))

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Compiled-vs-interpreted engine comparison over the fig6–fig9 suites.
+
+This is the artifact driver behind ``BENCH_PR5.json``: every execution
+point of the Figure 6–9 benchmark modules (their ``POINTS`` tables — the
+same grid pytest-benchmark runs), each executed on both engines through
+the shared harness.  The methodology is the honest one the suite has
+used since BENCH_PR1: plan cache disabled, planning outside the timed
+region, warmup-then-repeat with medians reported — plus the harness's
+cross-engine verification, so a point only gets timed after both engines
+produced identical answers and identical logical work counters.
+
+Usage::
+
+    python benchmarks/bench_pr5_engines.py --output BENCH_PR5.json
+    python benchmarks/bench_pr5_engines.py --smoke     # CI: verify only
+"""
+
+from __future__ import annotations
+
+import sys
+
+from _harness import run_main
+
+import bench_fig6_augpath
+import bench_fig7_ladder
+import bench_fig8_augladder
+import bench_fig9_augcircladder
+
+SUITES = (
+    bench_fig6_augpath,
+    bench_fig7_ladder,
+    bench_fig8_augladder,
+    bench_fig9_augcircladder,
+)
+
+
+def harness_cases():
+    cases = []
+    for module in SUITES:
+        cases.extend(module.harness_cases())
+    return cases
+
+
+if __name__ == "__main__":
+    sys.exit(run_main("fig6-fig9 compiled vs interpreted", harness_cases))

@@ -58,22 +58,29 @@ def sat_workload(variables: int, density: float, width: int = 3, seed: int = 0):
     return sat_instance(formula)
 
 
-def execution_engine(database, **kwargs):
+def execution_engine(database, engine: str = "interpreted", **kwargs):
     """Engine configured for honest execution benchmarking.
 
-    The plan cache is disabled: pytest-benchmark reuses one engine
-    across rounds, and with the cache on every round after the first
-    would be a single LRU lookup — the benchmark would measure
-    memoization, not execution, and execution-path regressions would be
-    invisible in the perf artifact.  Warm-cache behaviour is benchmarked
-    separately and labeled as such (see bench_fig8's warm-plan-cache
-    point)."""
-    from repro.relalg.engine import Engine
+    The plan cache is disabled (the reasoning lives in
+    :mod:`_harness`, which every benchmark now routes through): with it
+    on, every round after the first would measure an LRU lookup, not
+    execution.  ``engine`` selects the backend by name; keyword
+    arguments (e.g. ``join_algorithm`` in the join ablation) force the
+    interpreted engine, which is the only backend that accepts them.
+    """
+    if kwargs:
+        from repro.relalg.engine import Engine
 
-    return Engine(database, plan_cache_size=0, **kwargs)
+        return Engine(database, plan_cache_size=0, **kwargs)
+    from _harness import make_execution_engine
+
+    return make_execution_engine(database, engine)
 
 
-def bench_execution(benchmark, group: str, method: str, query, database):
+def bench_execution(
+    benchmark, group: str, method: str, query, database,
+    engine: str = "interpreted",
+):
     """Benchmark one method on one workload point: plan once (planning is
     the cheap part the paper does not chart), benchmark a full execution
     of the plan, and sanity-check the answer agrees with bucket
@@ -81,10 +88,12 @@ def bench_execution(benchmark, group: str, method: str, query, database):
     from repro.core.planner import plan_query
 
     plan = plan_query(query, method, rng=random.Random(0))
-    engine = execution_engine(database)
+    backend = execution_engine(database, engine=engine)
     benchmark.group = group
-    result = benchmark(lambda: engine.execute(plan))
-    reference = engine.execute(plan_query(query, "bucket", rng=random.Random(0)))
+    result = benchmark(lambda: backend.execute(plan))
+    reference = execution_engine(database).execute(
+        plan_query(query, "bucket", rng=random.Random(0))
+    )
     assert result == reference
     return result
 

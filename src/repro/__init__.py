@@ -54,7 +54,16 @@ from repro.plans import (
     walk,
 )
 from repro.rewrite import normalize, rewrite_plan
-from repro.relalg import Database, Engine, ExecutionStats, Relation, edge_database, evaluate
+from repro.relalg import (
+    CompiledEngine,
+    Database,
+    Engine,
+    ExecutionStats,
+    Relation,
+    edge_database,
+    evaluate,
+    make_engine,
+)
 from repro.sql import execute_with_stats, generate_sql, parse
 from repro.workloads import (
     coloring_instance,
@@ -103,6 +112,8 @@ __all__ = [
     "Relation",
     "Database",
     "Engine",
+    "CompiledEngine",
+    "make_engine",
     "ExecutionStats",
     "edge_database",
     "evaluate",

@@ -23,6 +23,7 @@ import sys
 from repro.core.planner import METHODS, plan_query
 from repro.datalog import parse_rule, render_datalog
 from repro.plans import plan_width, pretty_plan
+from repro.relalg.compiled import ENGINE_NAMES
 from repro.relalg.joins import JOIN_ALGORITHMS
 
 
@@ -48,10 +49,18 @@ def build_argument_parser() -> argparse.ArgumentParser:
 
     def add_execution_flags(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
+            "--engine",
+            choices=ENGINE_NAMES,
+            default="interpreted",
+            help="execution backend: the materializing interpreter or the "
+            "fused plan compiler (default: interpreted)",
+        )
+        sub.add_argument(
             "--join-algorithm",
             choices=sorted(JOIN_ALGORITHMS),
             default="hash",
-            help="binary join implementation (default: hash)",
+            help="binary join implementation (interpreted engine only; "
+            "default: hash)",
         )
         sub.add_argument(
             "--no-plan-cache",
@@ -123,10 +132,20 @@ def _cmd_sql(args: argparse.Namespace) -> int:
 
 
 def _make_engine(args: argparse.Namespace, database):
-    from repro.relalg.engine import DEFAULT_PLAN_CACHE_SIZE, Engine
+    from repro.relalg.compiled import make_engine
+    from repro.relalg.engine import DEFAULT_PLAN_CACHE_SIZE
     from repro.relalg.joins import get_join_algorithm
 
-    return Engine(
+    engine = getattr(args, "engine", "interpreted")
+    if engine == "compiled" and args.join_algorithm != "hash":
+        print(
+            "error: --engine compiled always uses the hash join; "
+            "--join-algorithm applies to the interpreted engine only",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return make_engine(
+        engine,
         database,
         join_algorithm=get_join_algorithm(args.join_algorithm),
         plan_cache_size=0 if args.no_plan_cache else DEFAULT_PLAN_CACHE_SIZE,

@@ -20,18 +20,25 @@ from repro.experiments.figures import (
     relation_size_scaling,
     sat_scaling,
 )
-from repro.experiments.report import dominance_summary, format_report, format_table
+from repro.experiments.report import (
+    dominance_summary,
+    format_report,
+    format_table,
+    series_to_json,
+)
 from repro.experiments.runner import (
     BudgetTracker,
     CellResult,
     MethodRun,
     Series,
     aggregate_runs,
+    run_cell,
     run_method,
 )
 
 __all__ = [
     "run_method",
+    "run_cell",
     "MethodRun",
     "CellResult",
     "Series",
@@ -52,5 +59,6 @@ __all__ = [
     "mediator_chain_scaling",
     "format_table",
     "format_report",
+    "series_to_json",
     "dominance_summary",
 ]

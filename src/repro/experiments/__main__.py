@@ -14,7 +14,11 @@ import argparse
 import sys
 
 from repro.experiments.figures import FIGURES
-from repro.experiments.report import dominance_summary, format_report
+from repro.experiments.report import (
+    dominance_summary,
+    format_report,
+    series_to_json,
+)
 
 
 def build_argument_parser() -> argparse.ArgumentParser:
@@ -61,6 +65,31 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="run through the full SQL generate/parse/execute pipeline",
     )
     parser.add_argument(
+        "--engine",
+        choices=("interpreted", "compiled"),
+        default=None,
+        help="execution backend for plan-path runs (default: interpreted)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="fan grid cells across N worker processes (default: 1, serial); "
+        "results are identical to a serial run apart from wall-clock",
+    )
+    parser.add_argument(
+        "--cell-timeout-seconds",
+        type=float,
+        default=None,
+        help="hard per-cell timeout when --jobs > 1 (a cell exceeding it is "
+        "recorded as timed out and its method retired)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the series as JSON instead of ASCII tables",
+    )
+    parser.add_argument(
         "--summary",
         action="store_true",
         help="append the winner-per-point dominance summary",
@@ -86,6 +115,13 @@ def _kwargs_for(name: str, args: argparse.Namespace) -> dict:
         kwargs["densities"] = args.densities
     if args.via_sql and name != "fig2":
         kwargs["via_sql"] = True
+    if name != "fig2":
+        if args.engine is not None:
+            kwargs["engine"] = args.engine
+        if args.jobs is not None:
+            kwargs["jobs"] = args.jobs
+        if args.cell_timeout_seconds is not None:
+            kwargs["cell_timeout_seconds"] = args.cell_timeout_seconds
     return kwargs
 
 
@@ -93,13 +129,22 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_argument_parser().parse_args(argv)
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    reports = []
     for name in names:
         series = FIGURES[name](**_kwargs_for(name, args))
+        if args.json:
+            reports.append(series_to_json(series))
+            continue
         print(format_report(series))
         if args.summary:
             print()
             print(dominance_summary(series))
         print()
+    if args.json:
+        import json
+
+        payload = reports[0] if len(reports) == 1 else reports
+        print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 

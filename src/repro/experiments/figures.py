@@ -19,6 +19,7 @@ from __future__ import annotations
 import random
 import statistics
 from collections.abc import Callable, Sequence
+from concurrent.futures import TimeoutError as FuturesTimeout
 
 from repro.core.query import ConjunctiveQuery
 from repro.experiments.runner import (
@@ -26,6 +27,7 @@ from repro.experiments.runner import (
     CellResult,
     Series,
     aggregate_runs,
+    run_cell,
     run_method,
 )
 from repro.relalg.database import Database
@@ -62,6 +64,9 @@ def _scaling_series(
     budget_seconds: float = 5.0,
     via_sql: bool = False,
     cap_tuples: int = 5_000_000,
+    jobs: int = 1,
+    engine: str = "interpreted",
+    cell_timeout_seconds: float | None = None,
 ) -> Series:
     """Generic scaling loop shared by Figures 3–9 and the SAT study.
 
@@ -72,6 +77,19 @@ def _scaling_series(
     exceeds ``budget_seconds`` or when the static feasibility guard
     (worst case ``domain ** plan_width`` above ``cap_tuples``) refuses to
     even start the run.
+
+    ``jobs > 1`` fans the (method, seed) cells of each x-value across a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  Results are
+    collected in the serial method-then-seed order and every cell seeds
+    its own ``random.Random(seed)`` inside the worker, so the series —
+    cells, medians, retirement decisions — is identical to a ``jobs=1``
+    run (wall-clock fields aside).  Retirement stays exact because the
+    budget tracker only consults cells from *earlier* x-values, and all
+    of an x-value's cells complete before the next is submitted.
+    ``cell_timeout_seconds`` bounds the wait for any one parallel cell:
+    a cell that blows it is recorded as timed out and its method retired,
+    though the worker process itself runs on in the background (the pool
+    cannot kill it) and is simply abandoned.
     """
     from repro.errors import TimeoutExceeded
 
@@ -79,36 +97,75 @@ def _scaling_series(
         name=name, x_label=x_label, x_values=list(x_values), methods=list(methods)
     )
     tracker = BudgetTracker(budget_seconds)
-    for x in series.x_values:
-        instances = [build_instance(x, seed) for seed in range(seeds)]
-        for method in methods:
-            if not tracker.active(method):
-                series.add(tracker.timeout_cell(method, x))
-                continue
-            runs = []
-            refused = False
-            for seed, (query, database) in enumerate(instances):
-                try:
-                    runs.append(
-                        run_method(
+    effective_cap = None if via_sql else cap_tuples
+    executor = None
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        executor = ProcessPoolExecutor(max_workers=jobs)
+    try:
+        for x in series.x_values:
+            instances = [build_instance(x, seed) for seed in range(seeds)]
+            futures = {}
+            if executor is not None:
+                for method in methods:
+                    if not tracker.active(method):
+                        continue
+                    for seed, (query, database) in enumerate(instances):
+                        futures[(method, seed)] = executor.submit(
+                            run_cell,
                             query,
                             database,
                             method,
-                            rng=random.Random(seed),
-                            via_sql=via_sql,
-                            cap_tuples=None if via_sql else cap_tuples,
+                            seed,
+                            via_sql,
+                            effective_cap,
+                            engine,
                         )
-                    )
-                except TimeoutExceeded:
-                    refused = True
-                    break
-            if refused or not runs:
-                series.add(tracker.timeout_cell(method, x))
-                tracker.observe(tracker.timeout_cell(method, x))
-                continue
-            cell = aggregate_runs(method, x, runs)
-            tracker.observe(cell)
-            series.add(cell)
+            for method in methods:
+                if not tracker.active(method):
+                    series.add(tracker.timeout_cell(method, x))
+                    continue
+                runs = []
+                refused = False
+                for seed, (query, database) in enumerate(instances):
+                    if executor is not None:
+                        try:
+                            run = futures[(method, seed)].result(
+                                timeout=cell_timeout_seconds
+                            )
+                        except FuturesTimeout:
+                            run = None
+                        if run is None:
+                            refused = True
+                            break
+                        runs.append(run)
+                        continue
+                    try:
+                        runs.append(
+                            run_method(
+                                query,
+                                database,
+                                method,
+                                rng=random.Random(seed),
+                                via_sql=via_sql,
+                                cap_tuples=effective_cap,
+                                engine=engine,
+                            )
+                        )
+                    except TimeoutExceeded:
+                        refused = True
+                        break
+                if refused or not runs:
+                    series.add(tracker.timeout_cell(method, x))
+                    tracker.observe(tracker.timeout_cell(method, x))
+                    continue
+                cell = aggregate_runs(method, x, runs)
+                tracker.observe(cell)
+                series.add(cell)
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
     return series
 
 
@@ -169,6 +226,9 @@ def fig3_density(
     seeds: int = 3,
     budget_seconds: float = 5.0,
     via_sql: bool = False,
+    jobs: int = 1,
+    engine: str = "interpreted",
+    cell_timeout_seconds: float | None = None,
 ) -> Series:
     """Figure 3: 3-COLOR density scaling at fixed order (paper: order 20).
 
@@ -198,6 +258,9 @@ def fig3_density(
         seeds=seeds,
         budget_seconds=budget_seconds,
         via_sql=via_sql,
+        jobs=jobs,
+        engine=engine,
+        cell_timeout_seconds=cell_timeout_seconds,
     )
 
 
@@ -213,6 +276,9 @@ def _order_scaling(
     budget_seconds: float,
     via_sql: bool,
     cap_tuples: int = 5_000_000,
+    jobs: int = 1,
+    engine: str = "interpreted",
+    cell_timeout_seconds: float | None = None,
 ) -> Series:
     def build(order: float, seed: int) -> tuple[ConjunctiveQuery, Database]:
         order = int(order)
@@ -232,6 +298,9 @@ def _order_scaling(
         budget_seconds=budget_seconds,
         via_sql=via_sql,
         cap_tuples=cap_tuples,
+        jobs=jobs,
+        engine=engine,
+        cell_timeout_seconds=cell_timeout_seconds,
     )
 
 
@@ -241,6 +310,9 @@ def fig4_order_low_density(
     seeds: int = 3,
     budget_seconds: float = 5.0,
     via_sql: bool = False,
+    jobs: int = 1,
+    engine: str = "interpreted",
+    cell_timeout_seconds: float | None = None,
 ) -> Series:
     """Figure 4: order scaling at density 3.0 (underconstrained region;
     paper: orders 10–35).  The slow methods drop out (feasibility guard /
@@ -249,7 +321,8 @@ def fig4_order_low_density(
     suffix = "boolean" if free_fraction == 0.0 else "nonboolean"
     return _order_scaling(
         f"fig4_order_d30_{suffix}", 3.0, orders, free_fraction, seeds,
-        budget_seconds, via_sql,
+        budget_seconds, via_sql, jobs=jobs, engine=engine,
+        cell_timeout_seconds=cell_timeout_seconds,
     )
 
 
@@ -259,6 +332,9 @@ def fig5_order_high_density(
     seeds: int = 3,
     budget_seconds: float = 5.0,
     via_sql: bool = False,
+    jobs: int = 1,
+    engine: str = "interpreted",
+    cell_timeout_seconds: float | None = None,
 ) -> Series:
     """Figure 5: order scaling at density 6.0 (overconstrained region;
     paper: orders 15–30).
@@ -270,7 +346,8 @@ def fig5_order_high_density(
     suffix = "boolean" if free_fraction == 0.0 else "nonboolean"
     return _order_scaling(
         f"fig5_order_d60_{suffix}", 6.0, orders, free_fraction, seeds,
-        budget_seconds, via_sql, cap_tuples=10**12,
+        budget_seconds, via_sql, cap_tuples=10**12, jobs=jobs, engine=engine,
+        cell_timeout_seconds=cell_timeout_seconds,
     )
 
 
@@ -285,6 +362,9 @@ def _structured_scaling(
     seeds: int,
     budget_seconds: float,
     via_sql: bool,
+    jobs: int = 1,
+    engine: str = "interpreted",
+    cell_timeout_seconds: float | None = None,
 ) -> Series:
     def build(order: float, seed: int) -> tuple[ConjunctiveQuery, Database]:
         graph = family(int(order))
@@ -301,6 +381,9 @@ def _structured_scaling(
         seeds=seeds,
         budget_seconds=budget_seconds,
         via_sql=via_sql,
+        jobs=jobs,
+        engine=engine,
+        cell_timeout_seconds=cell_timeout_seconds,
     )
 
 
@@ -310,12 +393,16 @@ def fig6_augmented_path(
     seeds: int = 3,
     budget_seconds: float = 5.0,
     via_sql: bool = False,
+    jobs: int = 1,
+    engine: str = "interpreted",
+    cell_timeout_seconds: float | None = None,
 ) -> Series:
     """Figure 6: augmented-path queries (paper: orders 5–50)."""
     suffix = "boolean" if free_fraction == 0.0 else "nonboolean"
     return _structured_scaling(
         f"fig6_augpath_{suffix}", augmented_path, orders, free_fraction,
-        seeds, budget_seconds, via_sql,
+        seeds, budget_seconds, via_sql, jobs=jobs, engine=engine,
+        cell_timeout_seconds=cell_timeout_seconds,
     )
 
 
@@ -325,13 +412,17 @@ def fig7_ladder(
     seeds: int = 3,
     budget_seconds: float = 5.0,
     via_sql: bool = False,
+    jobs: int = 1,
+    engine: str = "interpreted",
+    cell_timeout_seconds: float | None = None,
 ) -> Series:
     """Figure 7: ladder queries — the family where greedy reordering finds
     a *worse* order than the natural one."""
     suffix = "boolean" if free_fraction == 0.0 else "nonboolean"
     return _structured_scaling(
         f"fig7_ladder_{suffix}", ladder, orders, free_fraction, seeds,
-        budget_seconds, via_sql,
+        budget_seconds, via_sql, jobs=jobs, engine=engine,
+        cell_timeout_seconds=cell_timeout_seconds,
     )
 
 
@@ -341,13 +432,17 @@ def fig8_augmented_ladder(
     seeds: int = 3,
     budget_seconds: float = 5.0,
     via_sql: bool = False,
+    jobs: int = 1,
+    engine: str = "interpreted",
+    cell_timeout_seconds: float | None = None,
 ) -> Series:
     """Figure 8: augmented-ladder queries (straightforward and reordering
     time out very early in the paper, around order 7)."""
     suffix = "boolean" if free_fraction == 0.0 else "nonboolean"
     return _structured_scaling(
         f"fig8_augladder_{suffix}", augmented_ladder, orders, free_fraction,
-        seeds, budget_seconds, via_sql,
+        seeds, budget_seconds, via_sql, jobs=jobs, engine=engine,
+        cell_timeout_seconds=cell_timeout_seconds,
     )
 
 
@@ -357,6 +452,9 @@ def fig9_augmented_circular_ladder(
     seeds: int = 3,
     budget_seconds: float = 5.0,
     via_sql: bool = False,
+    jobs: int = 1,
+    engine: str = "interpreted",
+    cell_timeout_seconds: float | None = None,
 ) -> Series:
     """Figure 9: augmented-circular-ladder queries — the starkest
     separation between the methods."""
@@ -369,6 +467,9 @@ def fig9_augmented_circular_ladder(
         seeds,
         budget_seconds,
         via_sql,
+        jobs=jobs,
+        engine=engine,
+        cell_timeout_seconds=cell_timeout_seconds,
     )
 
 
@@ -383,6 +484,9 @@ def sat_scaling(
     seeds: int = 3,
     budget_seconds: float = 5.0,
     via_sql: bool = False,
+    jobs: int = 1,
+    engine: str = "interpreted",
+    cell_timeout_seconds: float | None = None,
 ) -> Series:
     """Section 7's consistency claim: the same method ranking holds for
     random k-SAT queries (3-SAT by default; pass ``clause_width=2`` for
@@ -404,6 +508,9 @@ def sat_scaling(
         seeds=seeds,
         budget_seconds=budget_seconds,
         via_sql=via_sql,
+        jobs=jobs,
+        engine=engine,
+        cell_timeout_seconds=cell_timeout_seconds,
     )
 
 
@@ -417,6 +524,9 @@ def relation_size_scaling(
     seeds: int = 3,
     budget_seconds: float = 5.0,
     via_sql: bool = False,
+    jobs: int = 1,
+    engine: str = "interpreted",
+    cell_timeout_seconds: float | None = None,
 ) -> Series:
     """Section 7 asks to "study scalability with respect to relation
     size": fix the query structure (random k-COLOR graphs) and grow the
@@ -440,6 +550,9 @@ def relation_size_scaling(
         budget_seconds=budget_seconds,
         via_sql=via_sql,
         cap_tuples=50_000_000,
+        jobs=jobs,
+        engine=engine,
+        cell_timeout_seconds=cell_timeout_seconds,
     )
 
 
@@ -448,6 +561,9 @@ def mediator_chain_scaling(
     seeds: int = 3,
     budget_seconds: float = 5.0,
     via_sql: bool = False,
+    jobs: int = 1,
+    engine: str = "interpreted",
+    cell_timeout_seconds: float | None = None,
 ) -> Series:
     """The introduction's mediator motivation as an experiment: chains of
     small heterogeneous sources (varying arities and sizes), scaling the
@@ -472,6 +588,9 @@ def mediator_chain_scaling(
         budget_seconds=budget_seconds,
         via_sql=via_sql,
         cap_tuples=50_000_000,
+        jobs=jobs,
+        engine=engine,
+        cell_timeout_seconds=cell_timeout_seconds,
     )
 
 

@@ -72,6 +72,49 @@ def format_report(series: Series, metrics: tuple[str, ...] = ("seconds", "tuples
     return "\n\n".join(format_table(series, metric) for metric in metrics)
 
 
+def series_to_json(series: Series) -> dict:
+    """A :class:`Series` as a JSON-ready dict with a stable schema.
+
+    Cells are emitted in x-then-method order (the serial driver's
+    processing order), so a report is byte-for-byte comparable across
+    runs — and across ``--jobs`` settings, whose only permitted
+    difference is the timing fields.  Non-finite medians (timeout
+    placeholders carry ``inf``) are emitted as ``null`` because JSON has
+    no infinity.
+    """
+
+    def _finite(value: float | None) -> float | None:
+        if value is None or math.isinf(value):
+            return None
+        return value
+
+    cells = []
+    for x in series.x_values:
+        for method in series.methods:
+            cell = series.get(method, x)
+            if cell is None:
+                continue
+            cells.append(
+                {
+                    "method": cell.method,
+                    "x": cell.x,
+                    "median_seconds": _finite(cell.median_seconds),
+                    "median_tuples": _finite(cell.median_tuples),
+                    "median_width": _finite(cell.median_width),
+                    "runs": cell.runs,
+                    "timed_out": cell.timed_out,
+                }
+            )
+    return {
+        "schema": "repro-series/1",
+        "name": series.name,
+        "x_label": series.x_label,
+        "x_values": list(series.x_values),
+        "methods": list(series.methods),
+        "cells": cells,
+    }
+
+
 def dominance_summary(series: Series, metric: str = "tuples") -> str:
     """One-line winner summary per x-value ("who wins"), used by
     EXPERIMENTS.md to state the shape claims compactly."""

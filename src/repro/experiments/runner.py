@@ -20,8 +20,8 @@ from dataclasses import dataclass, field
 from repro.core.planner import plan_query
 from repro.core.query import ConjunctiveQuery
 from repro.plans import plan_width
+from repro.relalg.compiled import make_engine
 from repro.relalg.database import Database
-from repro.relalg.engine import Engine
 from repro.relalg.stats import ExecutionStats
 from repro.sql.executor import execute as sql_execute
 from repro.sql.generator import generate_sql
@@ -70,13 +70,16 @@ def run_method(
     rng: random.Random | None = None,
     via_sql: bool = False,
     cap_tuples: int | None = None,
+    engine: str = "interpreted",
 ) -> MethodRun:
     """Run ``method`` on ``query`` and measure it.
 
     ``via_sql=True`` routes through the full SQL pipeline (generate, parse,
     execute) as the paper's harness did; the default executes the logical
     plan directly on the engine, which measures the same intermediate
-    results without the parsing overhead.
+    results without the parsing overhead.  ``engine`` selects the
+    execution backend for the plan path (``"interpreted"`` or
+    ``"compiled"``); the SQL path always uses the interpreted executor.
 
     ``cap_tuples`` is a feasibility guard (plan path only): if the plan's
     static worst case — ``domain ** plan_width`` — exceeds the cap, the
@@ -125,9 +128,9 @@ def run_method(
                     f"{method}: static bound {bound} exceeds "
                     f"cap of {cap_tuples} tuples"
                 )
-        engine = Engine(database)
+        backend = make_engine(engine, database)
         start = time.perf_counter()
-        result = engine.execute(plan, stats=stats)
+        result = backend.execute(plan, stats=stats)
         wall = time.perf_counter() - start
     return MethodRun(
         method=method,
@@ -138,6 +141,45 @@ def run_method(
         plan_width=width,
         stats=stats,
     )
+
+
+def run_cell(
+    query: ConjunctiveQuery,
+    database: Database,
+    method: str,
+    seed: int,
+    via_sql: bool = False,
+    cap_tuples: int | None = None,
+    engine: str = "interpreted",
+) -> MethodRun | None:
+    """One grid cell, as dispatched by the parallel experiment driver.
+
+    Module-level (so :class:`concurrent.futures.ProcessPoolExecutor` can
+    pickle it) and deterministic: the cell's planner randomness comes
+    from ``random.Random(seed)`` built *inside* the call, so a cell's
+    result does not depend on which process runs it or in what order.
+    The query and database are pickled to the worker; plans never cross
+    the process boundary (their canonical keys intern into a
+    process-local table).  A feasibility refusal — the serial driver's
+    :class:`~repro.errors.TimeoutExceeded` — is returned as ``None``
+    rather than raised, so the parent can treat it as data; any other
+    exception propagates and fails the series, exactly as it would
+    serially.
+    """
+    from repro.errors import TimeoutExceeded
+
+    try:
+        return run_method(
+            query,
+            database,
+            method,
+            rng=random.Random(seed),
+            via_sql=via_sql,
+            cap_tuples=cap_tuples,
+            engine=engine,
+        )
+    except TimeoutExceeded:
+        return None
 
 
 @dataclass

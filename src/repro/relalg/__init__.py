@@ -9,9 +9,20 @@ Public surface:
   relation).
 - :class:`~repro.relalg.engine.Engine` — evaluates :mod:`repro.plans` trees,
   with pluggable join algorithms and work counters.
+- :class:`~repro.relalg.compiled.CompiledEngine` — compiles plans into
+  fused per-plan closures (same answers, same logical work counters,
+  much less interpretation overhead); :func:`~repro.relalg.compiled.make_engine`
+  constructs either backend by name.
 """
 
 from repro.relalg.bag_engine import BagEngine, bag_evaluate
+from repro.relalg.compiled import (
+    ENGINE_NAMES,
+    ENGINES,
+    CompiledEngine,
+    compiled_evaluate,
+    make_engine,
+)
 from repro.relalg.database import Database, database_from_tuples, edge_database
 from repro.relalg.engine import (
     DEFAULT_PLAN_CACHE_SIZE,
@@ -36,8 +47,13 @@ __all__ = [
     "database_from_tuples",
     "edge_database",
     "Engine",
+    "CompiledEngine",
+    "ENGINES",
+    "ENGINE_NAMES",
+    "make_engine",
     "DEFAULT_PLAN_CACHE_SIZE",
     "evaluate",
+    "compiled_evaluate",
     "is_nonempty",
     "BagEngine",
     "bag_evaluate",

@@ -1,0 +1,916 @@
+"""Compiled execution backend: plans fused into generated per-plan closures.
+
+The interpreted engine (:mod:`repro.relalg.engine`) pays Python-level
+per-node dispatch, re-derives the operator layout (join columns, key
+positions, output headers) on every execution, and materializes a full
+:class:`~repro.relalg.relation.Relation` at *every* operator.  None of
+that work depends on the data — only on the plan — so this module moves
+it to a one-time compilation step: each plan tree is lowered, bottom-up
+through the shared visitor framework of :mod:`repro.plans`, into a tree
+of *units*, each a specialized closure over precomputed positions and
+extractors.  Executing a compiled plan runs the closures; nothing is
+dispatched on node types and no intermediate ``Relation`` objects exist
+until the final answer.
+
+Fusion rules (what a unit covers):
+
+- **Scan fusion** — a :class:`~repro.plans.Scan`'s constant selections,
+  repeated-variable equalities, rename, and trailing projection become a
+  single per-row transform; a scan with no constants and no repeats is
+  *zero-copy* (the unit returns the base relation's row set unchanged).
+- **Project-over-Join fusion** — the projected columns are emitted
+  during the hash probe; the wide join tuple is never allocated.  Its
+  logical cardinality (which the work counters need) is *counted*
+  instead of materialized: the build side's extra columns are deduped
+  per key bucket, so the number of distinct wide tuples is the sum of
+  bucket sizes over matching probe rows.
+- **Project-over-Semijoin fusion** — the semijoin filter and the
+  projection run in one pass over the left operand.
+- **Semijoin compilation** — the right operand becomes a key *set* (or,
+  when the right child is a zero-copy scan, the base relation's memoized
+  key index) and the left operand is filtered by membership.
+
+Everything else (bare joins feeding joins, projections over scans or
+projections) must still materialize its output: the logical work
+counters report every operator's *distinct* output cardinality, and a
+distinct count cannot be produced without building the distinct set.
+
+**Stats-parity contract.**  The logical work counters of
+:class:`~repro.relalg.stats.ExecutionStats` — ``joins``, ``semijoins``,
+``projections``, ``scans``, ``total_intermediate_tuples``,
+``max_intermediate_cardinality``, ``max_intermediate_arity``,
+``peak_live_tuples``, and the arity trace — are byte-identical to the
+interpreted engine's on every plan, because those counters drive the
+paper's figures.  Fused-away outputs are recorded with
+``record_output(..., built=False)``: they count as logical intermediates
+but not toward ``rows_built``, so ``rows_built`` (a physical counter)
+measures exactly what fusion saved.  ``cache_hits``/``cache_misses`` are
+cache-state counters and may differ from the interpreter's: the compiled
+engine caches at *unit* granularity (a fused Project-over-Join is one
+entry), the interpreter at node granularity.
+
+The common-subexpression cache mirrors the interpreted engine's: an LRU
+memo keyed on :func:`repro.plans.plan_key`, dropped wholesale when
+``database.generation`` changes, with per-entry stats snapshots replayed
+on hits so the logical counters stay cache-state independent.
+
+Both the compiler and the execution driver are iterative (explicit
+stacks), so plans thousands of operators deep — the Figure 6 scaling
+regime — compile and run without touching the recursion limit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from operator import itemgetter
+from typing import Any, Callable, Sequence
+
+from repro.errors import PlanError, SchemaError
+from repro.plans import Join, Plan, Project, Scan, Semijoin, plan_key
+from repro.relalg.database import Database
+from repro.relalg.engine import DEFAULT_PLAN_CACHE_SIZE, Engine
+from repro.relalg.relation import Relation
+from repro.relalg.stats import ExecutionStats
+
+Row = tuple[Any, ...]
+Rows = frozenset[Row] | set[Row]
+
+# ----------------------------------------------------------------------
+# Closure generation helpers
+# ----------------------------------------------------------------------
+#: Source-text cache for generated closures: structurally identical plan
+#: fragments (same positions, any data) share one code object.
+_CODEGEN_CACHE: dict[str, Callable] = {}
+
+
+def _gen(source: str) -> Callable:
+    """Compile a tiny positional lambda (indices only — no user data ever
+    reaches the generated source, so this is plain metaprogramming, not
+    an injection surface)."""
+    fn = _CODEGEN_CACHE.get(source)
+    if fn is None:
+        fn = eval(  # noqa: S307 - source is built from integers only
+            compile(source, "<repro.relalg.compiled>", "eval"),
+            {"__builtins__": {}},
+        )
+        _CODEGEN_CACHE[source] = fn
+    return fn
+
+
+def _tuple_extractor(positions: Sequence[int]) -> Callable[[Row], Row]:
+    """Row -> tuple of the values at ``positions`` (always a tuple)."""
+    if not positions:
+        return _gen("lambda r: ()")
+    if len(positions) == 1:
+        return _gen(f"lambda r: (r[{positions[0]}],)")
+    return itemgetter(*positions)
+
+
+def _key_extractor(positions: Sequence[int]) -> Callable[[Row], Any]:
+    """Row -> hash key: the bare value for one position, a tuple for
+    several — the same two representations as
+    :func:`repro.relalg.relation._key_getter`, so compiled probes can
+    consume ``Relation._key_index`` buckets directly."""
+    if len(positions) == 1:
+        return itemgetter(positions[0])
+    return itemgetter(*positions)
+
+
+def _pair_emitter(spec: Sequence[tuple[str, int]]) -> Callable[[Row, Row], Row]:
+    """(left_row, extras) -> projected output row, per a compile-time
+    spec of ``('l'|'e', index)`` parts."""
+    if not spec:
+        return _gen("lambda l, e: ()")
+    body = ", ".join(f"{side}[{index}]" for side, index in spec)
+    return _gen(f"lambda l, e: ({body},)")
+
+
+# ----------------------------------------------------------------------
+# Compiled units
+# ----------------------------------------------------------------------
+@dataclass(eq=False, repr=False)
+class _Unit:
+    """One fused operator group: a closure plus its execution metadata.
+
+    ``eq``/``repr`` are identity-based: the generated recursive ones
+    would blow the recursion limit on deep unit trees.
+
+    ``fn(stats, *child_row_sets)`` evaluates the group, records the
+    logical stats of every plan node it covers (in the interpreter's
+    post-order), and returns the output row set.  ``key`` is the
+    ``plan_key`` of the group's *root* plan node — the CSE cache key.
+    ``source``/``source_columns`` are set only for zero-copy scans, so
+    parents can reuse the base relation's memoized key index.
+    """
+
+    fn: Callable[..., Rows]
+    children: tuple["_Unit", ...]
+    key: tuple
+    header: tuple[str, ...]
+    source: Relation | None = None
+    source_columns: dict[str, str] = field(default_factory=dict)
+
+
+class CompiledEngine:
+    """Drop-in alternative to :class:`~repro.relalg.engine.Engine` that
+    compiles each plan once and executes the generated closures.
+
+    Parameters
+    ----------
+    database:
+        Catalog of base relations.  Scans bind their base relation at
+        compile time; any catalog mutation (``database.generation``)
+        invalidates every compiled plan and cached result.
+    plan_cache_size:
+        Capacity of the common-subexpression result cache, with the same
+        semantics as the interpreted engine's (LRU on ``plan_key``,
+        whole-cache invalidation on generation change, logical stats
+        replayed from per-entry snapshots on hits).  Pass ``0`` to
+        disable result caching; compiled *code* is always reused.
+
+    The join strategy is always hash-based (the paper's forced choice);
+    there is no ``join_algorithm`` parameter.
+
+    Examples
+    --------
+    >>> from repro.relalg.database import edge_database
+    >>> from repro.plans import Scan, Join, Project
+    >>> db = edge_database()
+    >>> plan = Project(Join(Scan("edge", ("a", "b")), Scan("edge", ("b", "c"))), ("a",))
+    >>> CompiledEngine(db).execute(plan).cardinality
+    3
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+    ) -> None:
+        if plan_cache_size < 0:
+            raise ValueError(f"plan_cache_size must be >= 0, got {plan_cache_size}")
+        self._database = database
+        self._cache_size = plan_cache_size
+        self._cache: OrderedDict[tuple, tuple[Rows, ExecutionStats]] = OrderedDict()
+        self._units: dict[tuple, _Unit] = {}
+        self._generation = database.generation
+
+    @property
+    def database(self) -> Database:
+        """The catalog this engine evaluates against."""
+        return self._database
+
+    @property
+    def plan_cache_enabled(self) -> bool:
+        """Whether the common-subexpression result cache is active."""
+        return self._cache_size > 0
+
+    def clear_plan_cache(self) -> None:
+        """Drop every cached result (compiled code is kept)."""
+        self._cache.clear()
+
+    def clear_compiled(self) -> None:
+        """Drop every compiled unit (and, since cached rows were produced
+        by them, every cached result too)."""
+        self._units.clear()
+        self._cache.clear()
+
+    def execute(self, plan: Plan, stats: ExecutionStats | None = None) -> Relation:
+        """Compile (or reuse) and evaluate ``plan``.
+
+        If ``stats`` is provided, work counters are accumulated into it.
+        """
+        stats = stats if stats is not None else ExecutionStats()
+        self._check_generation()
+        unit = self._compile(plan)
+        rows = self._run(unit, stats)
+        if not isinstance(rows, frozenset):
+            rows = frozenset(rows)
+            entry = self._cache.get(unit.key)
+            if entry is not None:
+                # Upgrade the cached root rows in place so a warm repeat
+                # returns without re-freezing.
+                self._cache[unit.key] = (rows, entry[1])
+        return Relation._from_trusted(unit.header, rows)
+
+    def execute_with_stats(self, plan: Plan) -> tuple[Relation, ExecutionStats]:
+        """Evaluate ``plan``; return both the result and fresh stats."""
+        stats = ExecutionStats()
+        result = self.execute(plan, stats=stats)
+        return result, stats
+
+    # ------------------------------------------------------------------
+    # Execution drivers (iterative, mirroring Engine._eval_*)
+    # ------------------------------------------------------------------
+    def _check_generation(self) -> None:
+        generation = self._database.generation
+        if generation != self._generation:
+            self._units.clear()
+            self._cache.clear()
+            self._generation = generation
+
+    def _run(self, unit: _Unit, stats: ExecutionStats) -> Rows:
+        if not self._cache_size:
+            return self._run_uncached(unit, stats)
+        return self._run_cached(unit, stats)
+
+    def _run_uncached(self, unit: _Unit, stats: ExecutionStats) -> Rows:
+        root: list[Rows] = []
+        stack: list[tuple[_Unit, list[Rows], list[Rows] | None]] = [
+            (unit, root, None)
+        ]
+        while stack:
+            u, dest, inputs = stack.pop()
+            if inputs is None:
+                if not u.children:
+                    dest.append(u.fn(stats))
+                    continue
+                inputs = []
+                stack.append((u, dest, inputs))
+                for child in reversed(u.children):
+                    stack.append((child, inputs, None))
+            else:
+                dest.append(u.fn(stats, *inputs))
+        return root[0]
+
+    def _run_cached(self, unit: _Unit, stats: ExecutionStats) -> Rows:
+        # Same structure (and cache semantics) as Engine._eval_cached:
+        # the lookup happens before a unit's children are scheduled, so a
+        # hit skips the whole subtree; a miss evaluates into a fresh
+        # subtree accumulator whose logical counters become the entry's
+        # replay snapshot.
+        root: list[Rows] = []
+        stack: list[
+            tuple[
+                _Unit,
+                list[Rows],
+                ExecutionStats,
+                tuple[ExecutionStats, list[Rows]] | None,
+            ]
+        ] = [(unit, root, stats, None)]
+        cache = self._cache
+        while stack:
+            u, dest, sink, pending = stack.pop()
+            if pending is None:
+                entry = cache.get(u.key)
+                if entry is not None:
+                    cache.move_to_end(u.key)
+                    rows, snapshot = entry
+                    sink.cache_hits += 1
+                    sink.merge(snapshot)
+                    dest.append(rows)
+                    continue
+                sink.cache_misses += 1
+                subtree = ExecutionStats()
+                inputs: list[Rows] = []
+                stack.append((u, dest, sink, (subtree, inputs)))
+                for child in reversed(u.children):
+                    stack.append((child, inputs, subtree, None))
+            else:
+                subtree, inputs = pending
+                rows = u.fn(subtree, *inputs)
+                sink.merge(subtree)
+                subtree.rows_built = 0
+                subtree.cache_hits = 0
+                subtree.cache_misses = 0
+                cache[u.key] = (rows, subtree)
+                if len(cache) > self._cache_size:
+                    cache.popitem(last=False)
+                dest.append(rows)
+        return root[0]
+
+    # ------------------------------------------------------------------
+    # Compilation (iterative, bottom-up over the fused unit tree)
+    # ------------------------------------------------------------------
+    def _compile(self, plan: Plan) -> _Unit:
+        units = self._units
+        key = plan_key(plan)
+        cached = units.get(key)
+        if cached is not None:
+            return cached
+        work: list[tuple[Plan, bool]] = [(plan, False)]
+        while work:
+            node, expanded = work.pop()
+            node_key = plan_key(node)
+            if node_key in units:
+                continue
+            kids = _unit_children(node)
+            if not expanded:
+                work.append((node, True))
+                for child in reversed(kids):
+                    work.append((child, False))
+            else:
+                units[node_key] = self._build_unit(
+                    node, tuple(units[plan_key(child)] for child in kids)
+                )
+        return units[key]
+
+    def _build_unit(self, node: Plan, children: tuple[_Unit, ...]) -> _Unit:
+        if isinstance(node, Scan):
+            return self._compile_scan(node)
+        if isinstance(node, Join):
+            return _compile_join(node, children)
+        if isinstance(node, Semijoin):
+            return _compile_semijoin(node, children)
+        if isinstance(node, Project):
+            child = node.child
+            if isinstance(child, Join):
+                return _compile_project_join(node, children)
+            if isinstance(child, Semijoin):
+                return _compile_project_semijoin(node, children)
+            return _compile_project(node, children)
+        raise PlanError(f"unknown plan node {node!r}")  # pragma: no cover
+
+    def _compile_scan(self, scan: Scan) -> _Unit:
+        base = self._database.get(scan.relation)
+        n_positions = len(scan.variables) + len(scan.constants)
+        if n_positions != base.arity:
+            raise SchemaError(
+                f"atom over {scan.relation!r} binds {n_positions} positions, "
+                f"relation has arity {base.arity}"
+            )
+        constant_positions = dict(scan.constants)
+        variable_positions: list[tuple[int, str]] = []
+        var_iter = iter(scan.variables)
+        for position in range(base.arity):
+            if position in constant_positions:
+                continue
+            variable_positions.append((position, next(var_iter)))
+        first_position: dict[str, int] = {}
+        equalities: list[tuple[int, int]] = []
+        for position, variable in variable_positions:
+            if variable in first_position:
+                equalities.append((first_position[variable], position))
+            else:
+                first_position[variable] = position
+        header = scan.columns
+        arity = len(header)
+        out_positions = [first_position[variable] for variable in header]
+        constants = list(scan.constants)
+        key = plan_key(scan)
+        base_rows = base.rows
+
+        if not constants and not equalities:
+            # Zero-copy: the scan is a pure rename of the base relation;
+            # its output *is* the base row set.
+            cardinality = len(base_rows)
+
+            def run_identity(stats: ExecutionStats) -> Rows:
+                stats.scans += 1
+                stats.record_output(cardinality, arity, built=False)
+                return base_rows
+
+            return _Unit(
+                fn=run_identity,
+                children=(),
+                key=key,
+                header=header,
+                source=base,
+                source_columns={
+                    variable: base.columns[position]
+                    for variable, position in first_position.items()
+                },
+            )
+
+        getter = _tuple_extractor(out_positions)
+
+        def run_scan(stats: ExecutionStats) -> Rows:
+            out: set[Row] = set()
+            add = out.add
+            for row in base_rows:
+                for position, value in constants:
+                    if row[position] != value:
+                        break
+                else:
+                    for i, j in equalities:
+                        if row[i] != row[j]:
+                            break
+                    else:
+                        add(getter(row))
+            stats.scans += 1
+            stats.record_output(len(out), arity)
+            return out
+
+        return _Unit(fn=run_scan, children=(), key=key, header=header)
+
+
+def _unit_children(node: Plan) -> tuple[Plan, ...]:
+    """Child *plan* nodes of the fused unit rooted at ``node`` — the
+    places where a materialized input is required."""
+    if isinstance(node, Project):
+        child = node.child
+        if isinstance(child, (Join, Semijoin)):
+            return (child.left, child.right)
+        return (child,)
+    if isinstance(node, (Join, Semijoin)):
+        return (node.left, node.right)
+    if isinstance(node, Scan):
+        return ()
+    raise PlanError(f"unknown plan node {node!r}")
+
+
+def _join_layout(left_cols: tuple[str, ...], right_cols: tuple[str, ...]):
+    """Compile-time layout shared by all join-shaped units."""
+    right_set = set(right_cols)
+    shared = tuple(name for name in left_cols if name in right_set)
+    shared_set = set(shared)
+    left_key = [left_cols.index(name) for name in shared]
+    right_key = [right_cols.index(name) for name in shared]
+    right_extra = [
+        index for index, name in enumerate(right_cols) if name not in shared_set
+    ]
+    return shared, left_key, right_key, right_extra
+
+
+def _compile_join(node: Join, children: tuple[_Unit, ...]) -> _Unit:
+    left_cols = node.left.columns
+    right_cols = node.right.columns
+    shared, left_key, right_key, right_extra = _join_layout(left_cols, right_cols)
+    header = node.columns
+    arity = len(header)
+    key = plan_key(node)
+
+    if not shared:
+
+        def run_cross(stats: ExecutionStats, lrows: Rows, rrows: Rows) -> Rows:
+            out = {lrow + rrow for lrow in lrows for rrow in rrows}
+            cardinality = len(out)
+            stats.record_join(len(lrows), len(rrows), cardinality)
+            stats.record_output(cardinality, arity)
+            return out
+
+        return _Unit(fn=run_cross, children=children, key=key, header=header)
+
+    lkey = _key_extractor(left_key)
+    rkey = _key_extractor(right_key)
+
+    if not right_extra:
+        # Semijoin-shaped join: the right operand contributes keys only,
+        # so the output is the left rows with at least one match.
+        def run_filter_join(stats: ExecutionStats, lrows: Rows, rrows: Rows) -> Rows:
+            keys = set(map(rkey, rrows))
+            out = {row for row in lrows if lkey(row) in keys}
+            cardinality = len(out)
+            stats.record_join(len(lrows), len(rrows), cardinality)
+            stats.record_output(cardinality, arity)
+            return out
+
+        return _Unit(fn=run_filter_join, children=children, key=key, header=header)
+
+    rext = _tuple_extractor(right_extra)
+
+    def run_join(stats: ExecutionStats, lrows: Rows, rrows: Rows) -> Rows:
+        ln, rn = len(lrows), len(rrows)
+        out: set[Row] = set()
+        add = out.add
+        if ln <= rn:
+            # Build on the left: key -> rows, probe with the right.
+            index: dict[Any, list[Row]] = {}
+            setdefault = index.setdefault
+            for lrow in lrows:
+                setdefault(lkey(lrow), []).append(lrow)
+            get = index.get
+            for rrow in rrows:
+                matches = get(rkey(rrow))
+                if matches:
+                    extra = rext(rrow)
+                    for match in matches:
+                        add(match + extra)
+        else:
+            # Build on the right: key -> distinct extras, probe with the
+            # left (dedup at build time keeps the emit loop minimal).
+            extras_index: dict[Any, set[Row]] = {}
+            for rrow in rrows:
+                k = rkey(rrow)
+                bucket = extras_index.get(k)
+                if bucket is None:
+                    extras_index[k] = bucket = set()
+                bucket.add(rext(rrow))
+            get = extras_index.get
+            for lrow in lrows:
+                extras = get(lkey(lrow))
+                if extras:
+                    for extra in extras:
+                        add(lrow + extra)
+        cardinality = len(out)
+        stats.record_join(ln, rn, cardinality)
+        stats.record_output(cardinality, arity)
+        return out
+
+    return _Unit(fn=run_join, children=children, key=key, header=header)
+
+
+def _semijoin_key_lookup(
+    right_unit: _Unit, shared: tuple[str, ...], right_key: list[int]
+):
+    """How a semijoin-shaped probe obtains its membership structure.
+
+    For a zero-copy scan the base relation's memoized ``_key_index``
+    (a dict keyed exactly like our probe keys) is reused — built once per
+    base relation, shared across occurrences, executions, and engines.
+    Otherwise a plain key set is built from the right rows each run.
+    """
+    if right_unit.source is not None:
+        base = right_unit.source
+        base_key_cols = tuple(right_unit.source_columns[name] for name in shared)
+
+        def lookup(rrows: Rows):
+            return base._key_index(base_key_cols)
+
+        return lookup
+
+    rkey = _key_extractor(right_key)
+
+    def lookup(rrows: Rows):
+        return set(map(rkey, rrows))
+
+    return lookup
+
+
+def _compile_semijoin(node: Semijoin, children: tuple[_Unit, ...]) -> _Unit:
+    left_cols = node.left.columns
+    right_cols = node.right.columns
+    shared, left_key, right_key, _ = _join_layout(left_cols, right_cols)
+    header = node.columns
+    arity = len(header)
+    key = plan_key(node)
+
+    if not shared:
+        # Degenerate nonemptiness filter, mirroring Relation.semijoin.
+        def run_degenerate(stats: ExecutionStats, lrows: Rows, rrows: Rows) -> Rows:
+            out: Rows = lrows if rrows else frozenset()
+            stats.semijoins += 1
+            stats.record_output(len(out), arity, built=False)
+            return out
+
+        return _Unit(fn=run_degenerate, children=children, key=key, header=header)
+
+    lkey = _key_extractor(left_key)
+    lookup = _semijoin_key_lookup(children[1], shared, right_key)
+
+    def run_semijoin(stats: ExecutionStats, lrows: Rows, rrows: Rows) -> Rows:
+        keys = lookup(rrows)
+        out: Rows = {row for row in lrows if lkey(row) in keys}
+        built = True
+        if len(out) == len(lrows):
+            out = lrows  # nothing filtered: reuse the input set
+            built = False
+        stats.semijoins += 1
+        stats.record_output(len(out), arity, built=built)
+        return out
+
+    return _Unit(fn=run_semijoin, children=children, key=key, header=header)
+
+
+def _project_spec(
+    columns: tuple[str, ...],
+    left_cols: tuple[str, ...],
+    extra_cols: tuple[str, ...],
+) -> list[tuple[str, int]]:
+    """Where each projected column lives in a (left_row, extras) pair."""
+    left_index = {name: index for index, name in enumerate(left_cols)}
+    extra_index = {name: index for index, name in enumerate(extra_cols)}
+    spec: list[tuple[str, int]] = []
+    for name in columns:
+        if name in left_index:
+            spec.append(("l", left_index[name]))
+        else:
+            spec.append(("e", extra_index[name]))
+    return spec
+
+
+def _compile_project_join(node: Project, children: tuple[_Unit, ...]) -> _Unit:
+    join = node.child
+    assert isinstance(join, Join)
+    left_cols = join.left.columns
+    right_cols = join.right.columns
+    shared, left_key, right_key, right_extra = _join_layout(left_cols, right_cols)
+    shared_set = set(shared)
+    extra_cols = tuple(name for name in right_cols if name not in shared_set)
+    wide_arity = len(join.columns)
+    header = node.columns
+    out_arity = len(header)
+    key = plan_key(node)
+
+    spec = _project_spec(header, left_cols, extra_cols)
+    left_only = all(side == "l" for side, _ in spec)
+    left_positions = [index for _, index in spec]
+
+    def finish(
+        stats: ExecutionStats, ln: int, rn: int, wide: int, out_card: int
+    ) -> None:
+        # The two fused nodes' stats, in the interpreter's post-order:
+        # the (never-materialized) wide join output, then the projection.
+        stats.record_join(ln, rn, wide)
+        stats.record_output(wide, wide_arity, built=False)
+        stats.projections += 1
+        stats.record_output(out_card, out_arity)
+
+    if not shared:
+        # Cross product under a projection: every (left, right) pair is a
+        # distinct wide tuple, so the wide cardinality is ln * rn.
+        if left_only:
+            eml = _tuple_extractor(left_positions)
+
+            def run_cross_left(
+                stats: ExecutionStats, lrows: Rows, rrows: Rows
+            ) -> Rows:
+                ln, rn = len(lrows), len(rrows)
+                out = frozenset(map(eml, lrows)) if rn else frozenset()
+                finish(stats, ln, rn, ln * rn, len(out))
+                return out
+
+            return _Unit(
+                fn=run_cross_left, children=children, key=key, header=header
+            )
+
+        emit = _pair_emitter(spec)
+
+        def run_cross(stats: ExecutionStats, lrows: Rows, rrows: Rows) -> Rows:
+            ln, rn = len(lrows), len(rrows)
+            out: set[Row] = set()
+            add = out.add
+            for lrow in lrows:
+                for rrow in rrows:
+                    add(emit(lrow, rrow))
+            finish(stats, ln, rn, ln * rn, len(out))
+            return out
+
+        return _Unit(fn=run_cross, children=children, key=key, header=header)
+
+    lkey = _key_extractor(left_key)
+
+    if not right_extra:
+        # Semijoin-shaped join under a projection: one wide tuple per
+        # matching left row; project while filtering.
+        eml = _tuple_extractor(left_positions)
+        lookup = _semijoin_key_lookup(children[1], shared, right_key)
+
+        def run_filter_project(
+            stats: ExecutionStats, lrows: Rows, rrows: Rows
+        ) -> Rows:
+            keys = lookup(rrows)
+            wide = 0
+            out: set[Row] = set()
+            add = out.add
+            for lrow in lrows:
+                if lkey(lrow) in keys:
+                    wide += 1
+                    add(eml(lrow))
+            finish(stats, len(lrows), len(rrows), wide, len(out))
+            return out
+
+        return _Unit(
+            fn=run_filter_project, children=children, key=key, header=header
+        )
+
+    rkey = _key_extractor(right_key)
+    rext = _tuple_extractor(right_extra)
+
+    if left_only:
+        # The projection keeps no right-hand column: one output row per
+        # matching left row, while the bucket sizes count the wide result.
+        eml = _tuple_extractor(left_positions)
+
+        def run_project_join_left(
+            stats: ExecutionStats, lrows: Rows, rrows: Rows
+        ) -> Rows:
+            extras_index: dict[Any, set[Row]] = {}
+            for rrow in rrows:
+                k = rkey(rrow)
+                bucket = extras_index.get(k)
+                if bucket is None:
+                    extras_index[k] = bucket = set()
+                bucket.add(rext(rrow))
+            wide = 0
+            out: set[Row] = set()
+            add = out.add
+            get = extras_index.get
+            for lrow in lrows:
+                bucket = get(lkey(lrow))
+                if bucket:
+                    wide += len(bucket)
+                    add(eml(lrow))
+            finish(stats, len(lrows), len(rrows), wide, len(out))
+            return out
+
+        return _Unit(
+            fn=run_project_join_left, children=children, key=key, header=header
+        )
+
+    emit = _pair_emitter(spec)
+
+    def run_project_join(stats: ExecutionStats, lrows: Rows, rrows: Rows) -> Rows:
+        # Wide tuples are (left_row, extra) pairs; left rows are distinct
+        # and bucket extras are deduped, so summing bucket sizes over
+        # matching probe rows counts the wide output exactly — without
+        # ever allocating a wide tuple.
+        extras_index: dict[Any, set[Row]] = {}
+        for rrow in rrows:
+            k = rkey(rrow)
+            bucket = extras_index.get(k)
+            if bucket is None:
+                extras_index[k] = bucket = set()
+            bucket.add(rext(rrow))
+        wide = 0
+        out: set[Row] = set()
+        add = out.add
+        get = extras_index.get
+        for lrow in lrows:
+            bucket = get(lkey(lrow))
+            if bucket:
+                wide += len(bucket)
+                for extra in bucket:
+                    add(emit(lrow, extra))
+        finish(stats, len(lrows), len(rrows), wide, len(out))
+        return out
+
+    return _Unit(fn=run_project_join, children=children, key=key, header=header)
+
+
+def _compile_project_semijoin(node: Project, children: tuple[_Unit, ...]) -> _Unit:
+    semi = node.child
+    assert isinstance(semi, Semijoin)
+    left_cols = semi.left.columns
+    right_cols = semi.right.columns
+    shared, left_key, right_key, _ = _join_layout(left_cols, right_cols)
+    semi_arity = len(semi.columns)
+    header = node.columns
+    out_arity = len(header)
+    key = plan_key(node)
+    positions = [left_cols.index(name) for name in header]
+    eml = _tuple_extractor(positions)
+
+    def finish(
+        stats: ExecutionStats, matched: int, out_card: int
+    ) -> None:
+        stats.semijoins += 1
+        stats.record_output(matched, semi_arity, built=False)
+        stats.projections += 1
+        stats.record_output(out_card, out_arity)
+
+    if not shared:
+
+        def run_degenerate(stats: ExecutionStats, lrows: Rows, rrows: Rows) -> Rows:
+            if rrows:
+                matched = len(lrows)
+                out: Rows = frozenset(map(eml, lrows))
+            else:
+                matched = 0
+                out = frozenset()
+            finish(stats, matched, len(out))
+            return out
+
+        return _Unit(fn=run_degenerate, children=children, key=key, header=header)
+
+    lkey = _key_extractor(left_key)
+    lookup = _semijoin_key_lookup(children[1], shared, right_key)
+
+    def run_project_semijoin(
+        stats: ExecutionStats, lrows: Rows, rrows: Rows
+    ) -> Rows:
+        keys = lookup(rrows)
+        matched = 0
+        out: set[Row] = set()
+        add = out.add
+        for lrow in lrows:
+            if lkey(lrow) in keys:
+                matched += 1
+                add(eml(lrow))
+        finish(stats, matched, len(out))
+        return out
+
+    return _Unit(
+        fn=run_project_semijoin, children=children, key=key, header=header
+    )
+
+
+def _compile_project(node: Project, children: tuple[_Unit, ...]) -> _Unit:
+    child_cols = node.child.columns
+    header = node.columns
+    arity = len(header)
+    key = plan_key(node)
+    positions = [child_cols.index(name) for name in header]
+
+    if positions == list(range(len(child_cols))):
+        # Identity projection: the child's rows are already the answer.
+        def run_identity(stats: ExecutionStats, crows: Rows) -> Rows:
+            stats.projections += 1
+            stats.record_output(len(crows), arity, built=False)
+            return crows
+
+        return _Unit(fn=run_identity, children=children, key=key, header=header)
+
+    getter = _tuple_extractor(positions)
+
+    def run_project(stats: ExecutionStats, crows: Rows) -> Rows:
+        out = frozenset(map(getter, crows))
+        stats.projections += 1
+        stats.record_output(len(out), arity)
+        return out
+
+    return _Unit(fn=run_project, children=children, key=key, header=header)
+
+
+# ----------------------------------------------------------------------
+# Engine registry
+# ----------------------------------------------------------------------
+#: Execution backends selectable via ``--engine``.
+ENGINES: dict[str, type] = {
+    "interpreted": Engine,
+    "compiled": CompiledEngine,
+}
+
+#: Names accepted by :func:`make_engine` and every ``--engine`` flag.
+ENGINE_NAMES: tuple[str, ...] = tuple(sorted(ENGINES))
+
+
+def make_engine(
+    name: str,
+    database: Database,
+    join_algorithm=None,
+    plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+):
+    """Construct an execution backend by name.
+
+    ``join_algorithm`` applies to the interpreted engine only; the
+    compiled backend always uses the hash strategy, so passing any other
+    algorithm with ``name="compiled"`` raises :class:`ValueError`.
+    """
+    from repro.relalg.joins import hash_join
+
+    if name == "interpreted":
+        return Engine(
+            database,
+            join_algorithm=join_algorithm if join_algorithm is not None else hash_join,
+            plan_cache_size=plan_cache_size,
+        )
+    if name == "compiled":
+        if join_algorithm is not None and join_algorithm is not hash_join:
+            raise ValueError(
+                "the compiled engine always uses the hash-join strategy; "
+                "--join-algorithm applies to the interpreted engine only"
+            )
+        return CompiledEngine(database, plan_cache_size=plan_cache_size)
+    raise ValueError(
+        f"unknown engine {name!r}; expected one of {list(ENGINE_NAMES)}"
+    )
+
+
+def compiled_evaluate(
+    plan: Plan,
+    database: Database,
+    plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+) -> tuple[Relation, ExecutionStats]:
+    """One-shot convenience mirroring :func:`repro.relalg.engine.evaluate`."""
+    engine = CompiledEngine(database, plan_cache_size=plan_cache_size)
+    return engine.execute_with_stats(plan)
+
+
+__all__ = [
+    "ENGINES",
+    "ENGINE_NAMES",
+    "CompiledEngine",
+    "compiled_evaluate",
+    "make_engine",
+]

@@ -284,15 +284,30 @@ def evaluate(
     database: Database,
     join_algorithm: JoinAlgorithm = hash_join,
     plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+    engine: str = "interpreted",
 ) -> tuple[Relation, ExecutionStats]:
     """One-shot convenience: evaluate ``plan`` on ``database``.
 
-    Returns the result relation together with its execution statistics.
+    ``engine`` selects the execution backend: ``"interpreted"`` (this
+    module's :class:`Engine`) or ``"compiled"``
+    (:class:`repro.relalg.compiled.CompiledEngine`; requires the default
+    hash join).  Returns the result relation together with its execution
+    statistics.
     """
-    engine = Engine(
-        database, join_algorithm=join_algorithm, plan_cache_size=plan_cache_size
+    if engine == "interpreted":
+        backend = Engine(
+            database, join_algorithm=join_algorithm, plan_cache_size=plan_cache_size
+        )
+        return backend.execute_with_stats(plan)
+    from repro.relalg.compiled import make_engine
+
+    backend = make_engine(
+        engine,
+        database,
+        join_algorithm=join_algorithm,
+        plan_cache_size=plan_cache_size,
     )
-    return engine.execute_with_stats(plan)
+    return backend.execute_with_stats(plan)
 
 
 def is_nonempty(plan: Plan, database: Database) -> bool:

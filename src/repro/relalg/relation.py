@@ -204,9 +204,13 @@ class Relation:
 
         The output header follows the order given in ``columns``.
         """
-        header = _check_header(columns)
-        if header == self._columns:
+        if tuple(columns) == self._columns:
+            # Identity projection: ``self`` *is* the result (and its
+            # header is already validated), so skip even the header
+            # re-validation — scans project onto their own schema on
+            # every evaluation and should pay nothing for it.
             return self
+        header = _check_header(columns)
         positions = [self.column_index(name) for name in header]
         new_rows = frozenset(map(_tuple_getter(positions), self._rows))
         return Relation._from_trusted(header, new_rows)
@@ -229,22 +233,27 @@ class Relation:
         Columns not mentioned keep their names.  The result must still have
         distinct column names.
         """
+        if not mapping:
+            return self
         for old in mapping:
             self.column_index(old)
-        header = _check_header(mapping.get(name, name) for name in self._columns)
+        header = tuple(mapping.get(name, name) for name in self._columns)
         if header == self._columns:
+            # Identity rename (every mentioned column maps to itself):
+            # the mapping was validated above, so nothing else to check.
             return self
-        return Relation._from_trusted(header, self._rows)
+        return Relation._from_trusted(_check_header(header), self._rows)
 
     def reorder(self, columns: Sequence[str]) -> "Relation":
         """Return the same relation with columns permuted to ``columns``."""
+        if tuple(columns) == self._columns:
+            # Identity permutation: already validated by construction.
+            return self
         header = _check_header(columns)
         if set(header) != set(self._columns):
             raise SchemaError(
                 f"reorder target {header!r} is not a permutation of {self._columns!r}"
             )
-        if header == self._columns:
-            return self
         positions = [self.column_index(name) for name in header]
         new_rows = frozenset(map(_tuple_getter(positions), self._rows))
         return Relation._from_trusted(header, new_rows)

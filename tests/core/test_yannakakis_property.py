@@ -38,9 +38,12 @@ def acyclic_instances(draw):
         return chain_query(draw(st.integers(2, 6)), rng)
     if shape == "star":
         return star_query(draw(st.integers(2, 5)), rng)
-    return snowflake_query(
-        draw(st.integers(2, 3)), draw(st.integers(1, 2)), rng
-    )
+    branches = draw(st.integers(2, 3))
+    # Three branches of depth 2 can exceed 18 variables — past the
+    # exact-treewidth limit the "jointree" method is documented to
+    # refuse — so keep the instances inside every method's domain.
+    depth = draw(st.integers(1, 2 if branches == 2 else 1))
+    return snowflake_query(branches, depth, rng)
 
 
 @given(acyclic_instances())

@@ -42,6 +42,58 @@ def test_kwargs_fig2_ignores_execution_flags():
     assert "via_sql" not in kwargs
 
 
+def test_kwargs_routing_engine_and_jobs():
+    parser = build_argument_parser()
+    args = parser.parse_args(
+        ["fig6", "--engine", "compiled", "--jobs", "2",
+         "--cell-timeout-seconds", "30"]
+    )
+    kwargs = _kwargs_for("fig6", args)
+    assert kwargs["engine"] == "compiled"
+    assert kwargs["jobs"] == 2
+    assert kwargs["cell_timeout_seconds"] == 30.0
+    # fig2 has no execution layer, so none of the three apply.
+    assert "engine" not in _kwargs_for("fig2", args)
+    assert "jobs" not in _kwargs_for("fig2", args)
+
+
+def test_parser_rejects_unknown_engine():
+    parser = build_argument_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fig6", "--engine", "jitted"])
+
+
+def test_main_json_output(capsys):
+    import json
+
+    exit_code = main(
+        ["fig3", "--seeds", "1", "--densities", "1.0", "--json"]
+    )
+    assert exit_code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro-series/1"
+    assert payload["name"] == "fig3_density_boolean"
+    assert payload["cells"]
+
+
+def test_main_compiled_engine_matches_interpreted(capsys):
+    import json
+
+    flags = ["fig3", "--seeds", "1", "--densities", "1.0", "--json"]
+    assert main(flags) == 0
+    interpreted = json.loads(capsys.readouterr().out)
+    assert main(flags + ["--engine", "compiled"]) == 0
+    compiled = json.loads(capsys.readouterr().out)
+
+    def strip(payload):
+        return [
+            {k: v for k, v in cell.items() if k != "median_seconds"}
+            for cell in payload["cells"]
+        ]
+
+    assert strip(compiled) == strip(interpreted)
+
+
 def test_main_runs_tiny_figure(capsys):
     exit_code = main(
         ["fig3", "--seeds", "1", "--densities", "1.0", "--summary"]

@@ -1,0 +1,96 @@
+"""The parallel experiment driver (``--jobs N``).
+
+The contract is bit-for-bit equivalence with the serial driver apart
+from wall-clock: same cells run, same per-cell seeds, same collection
+order (method-major, then seed), same JSON schema.  That holds because
+``run_cell`` builds its planner RNG from the seed *inside* the worker
+and the parent collects futures in serial order, so budget retirement
+sees the same sequence of results either way.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.figures import fig6_augmented_path
+from repro.experiments.report import series_to_json
+from repro.experiments.runner import MethodRun, run_cell
+from repro.workloads.coloring import coloring_instance
+from repro.workloads.graphs import augmented_path
+
+
+@pytest.fixture(scope="module")
+def instance():
+    graph = augmented_path(4)
+    inst = coloring_instance(graph, rng=random.Random(0))
+    return inst.query, inst.database
+
+
+def strip_timing(payload: dict) -> dict:
+    """Drop wall-clock fields, keeping everything determinism covers."""
+    out = dict(payload)
+    out["cells"] = [
+        {k: v for k, v in cell.items() if k != "median_seconds"}
+        for cell in payload["cells"]
+    ]
+    return out
+
+
+class TestRunCell:
+    def test_returns_method_run(self, instance):
+        query, database = instance
+        run = run_cell(query, database, "bucket", seed=0)
+        assert isinstance(run, MethodRun)
+        assert run.method == "bucket"
+        assert not run.timed_out
+
+    def test_deterministic_in_seed(self, instance):
+        query, database = instance
+        first = run_cell(query, database, "reordering", seed=7)
+        second = run_cell(query, database, "reordering", seed=7)
+        assert first.answer_cardinality == second.answer_cardinality
+        assert (
+            first.stats.total_intermediate_tuples
+            == second.stats.total_intermediate_tuples
+        )
+        assert first.plan_width == second.plan_width
+
+    def test_refusal_returned_as_none(self, instance):
+        query, database = instance
+        assert (
+            run_cell(query, database, "straightforward", seed=0, cap_tuples=1)
+            is None
+        )
+
+    def test_engine_choice_preserves_logical_stats(self, instance):
+        query, database = instance
+        interpreted = run_cell(query, database, "bucket", seed=0)
+        compiled = run_cell(
+            query, database, "bucket", seed=0, engine="compiled"
+        )
+        assert compiled.answer_cardinality == interpreted.answer_cardinality
+        assert (
+            compiled.stats.total_intermediate_tuples
+            == interpreted.stats.total_intermediate_tuples
+        )
+        assert compiled.stats.arity_trace == interpreted.stats.arity_trace
+
+
+class TestParallelDriver:
+    # One small figure is enough: the driver logic is shared by every
+    # builder through _scaling_series.
+    KW = dict(orders=(4, 6), seeds=2, budget_seconds=30.0)
+
+    def test_jobs_matches_serial_except_wall_clock(self):
+        serial = series_to_json(fig6_augmented_path(**self.KW))
+        parallel = series_to_json(fig6_augmented_path(jobs=2, **self.KW))
+        assert strip_timing(parallel) == strip_timing(serial)
+
+    def test_jobs_with_compiled_engine_matches_interpreted(self):
+        interpreted = series_to_json(
+            fig6_augmented_path(jobs=2, engine="interpreted", **self.KW)
+        )
+        compiled = series_to_json(
+            fig6_augmented_path(jobs=2, engine="compiled", **self.KW)
+        )
+        assert strip_timing(compiled) == strip_timing(interpreted)

@@ -308,3 +308,64 @@ class TestSetOperations:
     def test_union_schema_mismatch(self):
         with pytest.raises(SchemaError):
             Relation(("a",), [(1,)]).union(Relation(("b",), [(1,)]))
+
+
+class TestIdentityShortCircuits:
+    """No-op unary operations must return ``self``, not a rebuilt copy —
+    scans re-project onto their own schema on every evaluation, so these
+    short-circuits are load-bearing for engine performance (and they
+    preserve the memoized ``_key_index`` cache on the surviving object)."""
+
+    def test_project_identity_is_self(self):
+        r = Relation(("a", "b"), [(1, 2), (3, 4)])
+        assert r.project(("a", "b")) is r
+        assert r.project(["a", "b"]) is r  # any sequence type
+
+    def test_project_reorder_is_not_self(self):
+        r = Relation(("a", "b"), [(1, 2)])
+        assert r.project(("b", "a")) is not r
+
+    def test_project_out_nothing_is_self(self):
+        r = Relation(("a", "b"), [(1, 2)])
+        assert r.project_out(()) is r
+
+    def test_project_still_validates_bad_headers(self):
+        r = Relation(("a", "b"), [(1, 2)])
+        with pytest.raises(SchemaError):
+            r.project(("a", "a"))
+        with pytest.raises(SchemaError):
+            r.project(("a", "zzz"))
+
+    def test_rename_empty_mapping_is_self(self):
+        r = Relation(("a", "b"), [(1, 2)])
+        assert r.rename({}) is r
+
+    def test_rename_identity_mapping_is_self(self):
+        r = Relation(("a", "b"), [(1, 2)])
+        assert r.rename({"a": "a", "b": "b"}) is r
+
+    def test_rename_still_validates_unknown_source(self):
+        r = Relation(("a", "b"), [(1, 2)])
+        with pytest.raises(SchemaError):
+            r.rename({"zzz": "w"})
+
+    def test_rename_still_validates_collisions(self):
+        r = Relation(("a", "b"), [(1, 2)])
+        with pytest.raises(SchemaError):
+            r.rename({"a": "b"})
+
+    def test_reorder_identity_is_self(self):
+        r = Relation(("a", "b"), [(1, 2)])
+        assert r.reorder(("a", "b")) is r
+
+    def test_reorder_still_validates_non_permutation(self):
+        r = Relation(("a", "b"), [(1, 2)])
+        with pytest.raises(SchemaError):
+            r.reorder(("a", "c"))
+
+    def test_identity_ops_preserve_index_cache(self):
+        r = Relation(("a", "b"), [(1, 2), (1, 3)])
+        index = r._key_index(("a",))
+        assert r.project(("a", "b"))._key_index(("a",)) is index
+        assert r.rename({})._key_index(("a",)) is index
+        assert r.reorder(("a", "b"))._key_index(("a",)) is index

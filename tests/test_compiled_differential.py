@@ -1,0 +1,84 @@
+"""Differential property suite: compiled vs interpreted execution.
+
+The compiled backend's acceptance contract is that it is *observably
+identical* to the interpreted engine on every plan either can run — same
+answer relation, same logical work counters (so the paper's plan-cost
+figures are engine-independent) — while being allowed to materialize
+fewer physical rows (``rows_built``), which is the whole point of
+fusion.  This module hammers that contract from three directions:
+
+- random **acyclic queries** (mediator chains/stars/snowflakes) planned
+  by all six planning methods, under both cache modes;
+- random **bushy plans** over the edge relation — shapes no planner
+  emits (nested join operands, stacked projections, cross products);
+- random **databases** (varying arities, cardinalities, skew, constants
+  via repeated variables) with random queries over them.
+
+Deep-plan (2000-atom) coverage lives in ``tests/test_deep_plans.py``.
+"""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.core import is_acyclic
+from repro.core.planner import METHODS, plan_query
+from repro.relalg.compiled import CompiledEngine
+from repro.relalg.database import edge_database
+from repro.relalg.engine import Engine
+
+from tests.core.test_yannakakis_property import acyclic_instances
+from tests.test_random_databases import random_setups
+from tests.test_random_plans import random_plans
+
+LOGICAL = (
+    "joins",
+    "semijoins",
+    "projections",
+    "scans",
+    "total_intermediate_tuples",
+    "max_intermediate_cardinality",
+    "max_intermediate_arity",
+    "peak_live_tuples",
+)
+
+
+def assert_engines_agree(plan, database, cache_size: int = 0) -> None:
+    expected, istats = Engine(
+        database, plan_cache_size=cache_size
+    ).execute_with_stats(plan)
+    got, cstats = CompiledEngine(
+        database, plan_cache_size=cache_size
+    ).execute_with_stats(plan)
+    assert got == expected
+    for counter in LOGICAL:
+        assert getattr(cstats, counter) == getattr(istats, counter), counter
+    assert cstats.arity_trace == istats.arity_trace
+    assert cstats.rows_built <= istats.rows_built
+
+
+@given(acyclic_instances())
+@settings(max_examples=25, deadline=None)
+def test_all_six_methods_agree_on_acyclic_queries(pair):
+    query, database = pair
+    for method in METHODS:
+        plan = plan_query(query, method, rng=random.Random(3))
+        for cache_size in (0, 128):
+            assert_engines_agree(plan, database, cache_size)
+
+
+@given(random_plans())
+@settings(max_examples=60, deadline=None)
+def test_bushy_plans_agree(plan):
+    assert_engines_agree(plan, edge_database())
+
+
+@given(random_setups())
+@settings(max_examples=40, deadline=None)
+def test_random_databases_agree(setup):
+    query, database = setup
+    for method in METHODS:
+        if method == "yannakakis" and not is_acyclic(query):
+            continue  # rejects cyclic queries by design
+        plan = plan_query(query, method, rng=random.Random(0))
+        assert_engines_agree(plan, database)

@@ -94,6 +94,30 @@ class TestDeepExecution:
             result = Engine(db, plan_cache_size=cache_size).execute(plan)
             assert result == base  # reducers remove nothing here
 
+    def test_compiled_engine_executes_deep_semijoin_chain(self):
+        # Both the compiler (post-order over 2000 nodes) and both run
+        # drivers (cached and uncached) must be stack-based; the _Unit
+        # dataclass also disables generated __repr__/__eq__, which would
+        # recurse through `children`.
+        from repro.relalg.compiled import CompiledEngine
+
+        db = edge_database()
+        plan = deep_semijoin_chain()
+        base = Engine(db).execute(Scan("edge", ("x", "y")))
+        for cache_size in (0, 128):
+            engine = CompiledEngine(db, plan_cache_size=cache_size)
+            result, cstats = engine.execute_with_stats(plan)
+            assert result == base
+            _, istats = Engine(
+                db, plan_cache_size=cache_size
+            ).execute_with_stats(plan)
+            assert cstats.semijoins == istats.semijoins
+            assert (
+                cstats.total_intermediate_tuples
+                == istats.total_intermediate_tuples
+            )
+            assert cstats.arity_trace == istats.arity_trace
+
     def test_bag_engine_executes_deep_semijoin_chain(self):
         db = edge_database()
         result, _ = bag_evaluate(deep_semijoin_chain(), db)

@@ -83,6 +83,24 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["run", RULE, "--db", db_dir, "--join-algorithm", "nope"])
 
+    def test_run_compiled_engine(self, capsys, db_dir):
+        assert main(["run", RULE, "--db", db_dir, "--engine", "compiled"]) == 0
+        out = capsys.readouterr().out
+        assert "3 rows" in out
+
+    def test_run_unknown_engine_rejected(self, db_dir):
+        with pytest.raises(SystemExit):
+            main(["run", RULE, "--db", db_dir, "--engine", "jitted"])
+
+    def test_run_compiled_engine_rejects_non_hash_join(self, capsys, db_dir):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["run", RULE, "--db", db_dir, "--engine", "compiled",
+                 "--join-algorithm", "nested_loop"]
+            )
+        assert excinfo.value.code == 2
+        assert "hash" in capsys.readouterr().err
+
     def test_run_explain(self, capsys, db_dir):
         assert main(["run", RULE, "--db", db_dir, "--explain"]) == 0
         out = capsys.readouterr().out
