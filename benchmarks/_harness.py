@@ -22,7 +22,8 @@ methodology stays consistent (and honest) in one place:
 
 The JSON documents written by :func:`run_main` carry
 ``"schema": "repro-bench/1"`` and per-case per-engine medians plus, when
-both engines ran, per-case and summary speedups.
+two or more engines ran, per-case and summary speedups (first requested
+engine as baseline, last as subject).
 """
 
 from __future__ import annotations
@@ -40,6 +41,7 @@ from typing import Callable, Sequence
 
 SCHEMA = "repro-bench/1"
 DEFAULT_ENGINES = ("interpreted", "compiled")
+ENGINE_CHOICES = ("interpreted", "compiled", "vectorized")
 DEFAULT_WARMUP = 1
 DEFAULT_REPEAT = 5
 
@@ -182,11 +184,14 @@ def run_suite(
                 "max_intermediate_arity": counters["max_intermediate_arity"],
             },
         }
-        if "interpreted" in per_engine and "compiled" in per_engine:
-            compiled_median = per_engine["compiled"]["median_s"]
+        if len(engines) >= 2:
+            # Speedup convention: first requested engine is the baseline,
+            # last is the subject (interpreted/compiled for the classic
+            # pair, compiled/vectorized for the columnar artifact).
+            subject_median = per_engine[engines[-1]]["median_s"]
             entry["speedup"] = (
-                per_engine["interpreted"]["median_s"] / compiled_median
-                if compiled_median
+                per_engine[engines[0]]["median_s"] / subject_median
+                if subject_median
                 else float("inf")
             )
         results.append(entry)
@@ -221,19 +226,25 @@ def build_document(
     repeat: int,
     smoke: bool,
 ) -> dict:
+    engines = list(engines)
+    methodology = {
+        "plan_cache": "disabled",
+        "planning": "outside the timed region (once per case)",
+        "aggregation": "median over repeats",
+        "warmup": warmup,
+        "repeat": repeat,
+        "smoke": smoke,
+        "verification": "identical relations and logical work "
+        "counters across engines, checked before timing",
+    }
+    if len(engines) >= 2:
+        methodology["speedup"] = (
+            f"median({engines[0]}) / median({engines[-1]}) per case"
+        )
     return {
         "schema": SCHEMA,
         "suite": suite,
-        "methodology": {
-            "plan_cache": "disabled",
-            "planning": "outside the timed region (once per case)",
-            "aggregation": "median over repeats",
-            "warmup": warmup,
-            "repeat": repeat,
-            "smoke": smoke,
-            "verification": "identical relations and logical work "
-            "counters across engines, checked before timing",
-        },
+        "methodology": methodology,
         "engines": list(engines),
         "python": platform.python_version(),
         "results": list(results),
@@ -252,8 +263,10 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "--engine",
         dest="engines",
         action="append",
-        choices=DEFAULT_ENGINES,
-        help="engine(s) to run; repeatable (default: both)",
+        choices=ENGINE_CHOICES,
+        help="engine(s) to run; repeatable (default: the suite's pair; "
+        "with two or more, the first is the speedup baseline and the "
+        "last the subject)",
     )
     parser.add_argument(
         "--warmup", type=int, default=DEFAULT_WARMUP, help="unrecorded calls per case"
@@ -271,12 +284,19 @@ def run_main(
     suite: str,
     build_cases: Callable[[], Sequence[Case]],
     argv: Sequence[str] | None = None,
+    default_engines: Sequence[str] = DEFAULT_ENGINES,
+    postprocess: Callable[[dict], dict] | None = None,
 ) -> int:
-    """Standard ``main`` shared by the standalone ``bench_fig*`` scripts."""
+    """Standard ``main`` shared by the standalone ``bench_fig*`` scripts.
+
+    ``default_engines`` sets the engine pair when ``--engine`` is not
+    given; ``postprocess`` may amend the document before it is written
+    (e.g. per-figure summaries).
+    """
     parser = argparse.ArgumentParser(description=f"Benchmark suite: {suite}")
     add_arguments(parser)
     args = parser.parse_args(argv)
-    engines = tuple(args.engines) if args.engines else DEFAULT_ENGINES
+    engines = tuple(args.engines) if args.engines else tuple(default_engines)
     results = run_suite(
         build_cases(),
         engines=engines,
@@ -288,6 +308,8 @@ def run_main(
     document = build_document(
         suite, results, engines, args.warmup, args.repeat, args.smoke
     )
+    if postprocess is not None:
+        document = postprocess(document)
     text = json.dumps(document, indent=2, sort_keys=True) + "\n"
     if args.output:
         Path(args.output).write_text(text)

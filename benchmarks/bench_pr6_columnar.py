@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Vectorized-columnar vs row-compiled engine over the fig6–fig9 suites.
+
+This is the artifact driver behind ``BENCH_PR6.json``: the same
+execution grid as ``BENCH_PR5.json`` (every ``POINTS`` entry of the
+Figure 6–9 benchmark modules), but the comparison is now the PR 5
+row-compiled engine (baseline) against the vectorized columnar backend
+(subject), so per-case ``speedup`` is ``median(compiled) /
+median(vectorized)``.  Methodology is unchanged from the rest of the
+suite: plan cache disabled, planning outside the timed region,
+warmup-then-repeat with medians, and the harness's cross-engine
+verification — identical relations and identical logical work counters —
+before any timing happens.
+
+On top of the harness document this driver adds a ``per_figure`` section
+(fig6/fig7/fig8/fig9 medians), since the acceptance bar for the columnar
+refactor is a median speedup across the whole fig6–9 suite.
+
+Usage::
+
+    python benchmarks/bench_pr6_columnar.py --output BENCH_PR6.json
+    python benchmarks/bench_pr6_columnar.py --smoke     # CI: verify only
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+
+from _harness import run_main
+
+import bench_fig6_augpath
+import bench_fig7_ladder
+import bench_fig8_augladder
+import bench_fig9_augcircladder
+
+SUITES = (
+    bench_fig6_augpath,
+    bench_fig7_ladder,
+    bench_fig8_augladder,
+    bench_fig9_augcircladder,
+)
+
+ENGINES = ("compiled", "vectorized")
+
+FIGURES = ("fig6", "fig7", "fig8", "fig9")
+
+
+def harness_cases():
+    cases = []
+    for module in SUITES:
+        cases.extend(module.harness_cases())
+    return cases
+
+
+def add_per_figure_summaries(document: dict) -> dict:
+    """Group the per-case speedups by figure prefix of the case group."""
+    per_figure: dict[str, dict] = {}
+    for figure in FIGURES:
+        speedups = [
+            entry["speedup"]
+            for entry in document["results"]
+            if entry["group"].startswith(figure) and "speedup" in entry
+        ]
+        if speedups:
+            per_figure[figure] = {
+                "points": len(speedups),
+                "median_speedup": statistics.median(speedups),
+                "min_speedup": min(speedups),
+                "max_speedup": max(speedups),
+            }
+    document["per_figure"] = per_figure
+    return document
+
+
+if __name__ == "__main__":
+    sys.exit(
+        run_main(
+            "fig6-fig9 vectorized columnar vs compiled",
+            harness_cases,
+            default_engines=ENGINES,
+            postprocess=add_per_figure_summaries,
+        )
+    )

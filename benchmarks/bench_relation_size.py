@@ -5,12 +5,19 @@ growing database: ``k`` colors give a ``k*(k-1)``-tuple relation.  The
 paper asks for exactly this study; the expected shape is that bucket
 elimination's advantage *widens* as relations grow, because intermediate
 volume scales as ``|domain| ** arity``.
+
+The footprint tests at the bottom report the physical side of the same
+study: as the base relations grow, the dictionary-encoded columnar
+layout (minimal-width code arrays plus encoded domains, see
+:meth:`repro.relalg.relation.Relation.memory_footprint`) pulls away
+from the row layout's tuple-per-row cost.
 """
 
 import pytest
 
 from conftest import bench_execution
 
+from repro.relalg.relation import Relation
 from repro.workloads.coloring import coloring_instance
 from repro.workloads.graphs import random_graph
 
@@ -41,3 +48,38 @@ def test_bucket_scales_with_relation_size(benchmark, colors):
         benchmark, f"relsize colors={colors} (bucket only)", "bucket",
         query, database,
     )
+
+
+@pytest.mark.parametrize("colors", [3, 4, 5, 6])
+def test_memory_footprint_row_vs_columnar(benchmark, colors):
+    """Row vs columnar bytes of the instance's base relations.
+
+    Timed region is the one-pass dictionary encoding of every base
+    relation (a fresh Relation per round, so memoization never hides the
+    cost); the measured footprints of both layouts are attached to the
+    benchmark record as ``extra_info``.
+    """
+    _, database = _instance(colors)
+    originals = {name: database.get(name) for name in database.names()}
+
+    def encode_all():
+        fresh = {
+            name: Relation(rel.columns, list(rel))
+            for name, rel in originals.items()
+        }
+        for rel in fresh.values():
+            rel.columnar()
+        return fresh
+
+    benchmark.group = f"relsize colors={colors} footprint"
+    encoded = benchmark(encode_all)
+    totals = {"row_layout_bytes": 0, "columnar_bytes": 0, "value_bytes": 0}
+    for rel in encoded.values():
+        report = rel.memory_footprint()
+        for key in totals:
+            totals[key] += report[key]
+    benchmark.extra_info.update(totals)
+    benchmark.extra_info["tuples"] = database.total_tuples()
+    # Small-domain workloads pack codes into one byte each, so the
+    # columnar layout must undercut the tuple-per-row cost.
+    assert totals["columnar_bytes"] < totals["row_layout_bytes"]

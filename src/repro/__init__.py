@@ -60,6 +60,7 @@ from repro.relalg import (
     Engine,
     ExecutionStats,
     Relation,
+    VectorizedEngine,
     edge_database,
     evaluate,
     make_engine,
@@ -113,6 +114,7 @@ __all__ = [
     "Database",
     "Engine",
     "CompiledEngine",
+    "VectorizedEngine",
     "make_engine",
     "ExecutionStats",
     "edge_database",

@@ -52,8 +52,9 @@ def build_argument_parser() -> argparse.ArgumentParser:
             "--engine",
             choices=ENGINE_NAMES,
             default="interpreted",
-            help="execution backend: the materializing interpreter or the "
-            "fused plan compiler (default: interpreted)",
+            help="execution backend: the materializing interpreter, the "
+            "fused plan compiler, or the vectorized columnar compiler "
+            "(default: interpreted)",
         )
         sub.add_argument(
             "--join-algorithm",
@@ -137,9 +138,9 @@ def _make_engine(args: argparse.Namespace, database):
     from repro.relalg.joins import get_join_algorithm
 
     engine = getattr(args, "engine", "interpreted")
-    if engine == "compiled" and args.join_algorithm != "hash":
+    if engine != "interpreted" and args.join_algorithm != "hash":
         print(
-            "error: --engine compiled always uses the hash join; "
+            f"error: --engine {engine} always uses the hash join; "
             "--join-algorithm applies to the interpreted engine only",
             file=sys.stderr,
         )

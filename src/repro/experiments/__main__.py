@@ -66,7 +66,7 @@ def build_argument_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=("interpreted", "compiled"),
+        choices=("interpreted", "compiled", "vectorized"),
         default=None,
         help="execution backend for plan-path runs (default: interpreted)",
     )

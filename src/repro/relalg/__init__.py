@@ -11,17 +11,22 @@ Public surface:
   with pluggable join algorithms and work counters.
 - :class:`~repro.relalg.compiled.CompiledEngine` — compiles plans into
   fused per-plan closures (same answers, same logical work counters,
-  much less interpretation overhead); :func:`~repro.relalg.compiled.make_engine`
-  constructs either backend by name.
+  much less interpretation overhead); :class:`~repro.relalg.compiled.VectorizedEngine`
+  — the same compilation over dictionary-encoded column batches
+  (:mod:`repro.relalg.columnar`); :func:`~repro.relalg.compiled.make_engine`
+  constructs any backend by name.
 """
 
 from repro.relalg.bag_engine import BagEngine, bag_evaluate
+from repro.relalg.columnar import ColumnStore
 from repro.relalg.compiled import (
     ENGINE_NAMES,
     ENGINES,
     CompiledEngine,
+    VectorizedEngine,
     compiled_evaluate,
     make_engine,
+    vectorized_evaluate,
 )
 from repro.relalg.database import Database, database_from_tuples, edge_database
 from repro.relalg.engine import (
@@ -48,12 +53,15 @@ __all__ = [
     "edge_database",
     "Engine",
     "CompiledEngine",
+    "VectorizedEngine",
+    "ColumnStore",
     "ENGINES",
     "ENGINE_NAMES",
     "make_engine",
     "DEFAULT_PLAN_CACHE_SIZE",
     "evaluate",
     "compiled_evaluate",
+    "vectorized_evaluate",
     "is_nonempty",
     "BagEngine",
     "bag_evaluate",

@@ -57,20 +57,29 @@ on hits so the logical counters stay cache-state independent.
 Both the compiler and the execution driver are iterative (explicit
 stacks), so plans thousands of operators deep — the Figure 6 scaling
 regime — compile and run without touching the recursion limit.
+
+On top of the same fusion grouping, drivers, and CSE cache, this module
+also provides :class:`VectorizedEngine`: a second lowering whose unit
+payloads are dictionary-encoded *column batches* (see
+:mod:`repro.relalg.columnar`) instead of row sets, with whole-column
+kernels replacing the per-row closures.  See the "Vectorized (columnar)
+lowering" section below for the batch format and its distinctness
+invariant.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from operator import itemgetter
 from typing import Any, Callable, Sequence
 
 from repro.errors import PlanError, SchemaError
 from repro.plans import Join, Plan, Project, Scan, Semijoin, plan_key
+from repro.relalg.columnar import ColumnStore, decode_column, lookup_code
 from repro.relalg.database import Database
 from repro.relalg.engine import DEFAULT_PLAN_CACHE_SIZE, Engine
-from repro.relalg.relation import Relation
+from repro.relalg.relation import Relation, intern_header, join_layout
 from repro.relalg.stats import ExecutionStats
 
 Row = tuple[Any, ...]
@@ -136,20 +145,37 @@ class _Unit:
     ``eq``/``repr`` are identity-based: the generated recursive ones
     would blow the recursion limit on deep unit trees.
 
-    ``fn(stats, *child_row_sets)`` evaluates the group, records the
+    ``fn(stats, *child_payloads)`` evaluates the group, records the
     logical stats of every plan node it covers (in the interpreter's
-    post-order), and returns the output row set.  ``key`` is the
-    ``plan_key`` of the group's *root* plan node — the CSE cache key.
-    ``source``/``source_columns`` are set only for zero-copy scans, so
-    parents can reuse the base relation's memoized key index.
+    post-order), and returns the output payload — a row set for
+    :class:`CompiledEngine`, a column batch for
+    :class:`VectorizedEngine`.  ``key`` is the ``plan_key`` of the
+    group's *root* plan node — the CSE cache key.
+    ``source``/``source_columns``/``source_positions`` are set only for
+    zero-copy scans, so parents can reuse the base relation's memoized
+    key index (by column name for the row engines, by column position
+    for the columnar one).
     """
 
-    fn: Callable[..., Rows]
+    fn: Callable[..., Any]
     children: tuple["_Unit", ...]
     key: tuple
     header: tuple[str, ...]
     source: Relation | None = None
     source_columns: dict[str, str] = field(default_factory=dict)
+    source_positions: dict[str, int] = field(default_factory=dict)
+    #: Set only for vectorized scans: the precomputed (constant) output
+    #: batch, folded at compile time.  Parents use it to prebuild join
+    #: and membership structures once per compilation.
+    const_batch: Any = None
+    #: Lazily flattened post-order ``[(fn, nargs), ...]`` of the unit
+    #: tree rooted here (vectorized uncached driver).
+    program: list | None = None
+    #: Pipeline descriptor (:class:`_Pipe`) set on vectorized units whose
+    #: output is a chain of joins/semijoins against constant right
+    #: sides — the hook that lets a parent operator fuse the chain into
+    #: one generated kernel.
+    pipe: Any = None
 
 
 class CompiledEngine:
@@ -363,29 +389,9 @@ class CompiledEngine:
 
     def _compile_scan(self, scan: Scan) -> _Unit:
         base = self._database.get(scan.relation)
-        n_positions = len(scan.variables) + len(scan.constants)
-        if n_positions != base.arity:
-            raise SchemaError(
-                f"atom over {scan.relation!r} binds {n_positions} positions, "
-                f"relation has arity {base.arity}"
-            )
-        constant_positions = dict(scan.constants)
-        variable_positions: list[tuple[int, str]] = []
-        var_iter = iter(scan.variables)
-        for position in range(base.arity):
-            if position in constant_positions:
-                continue
-            variable_positions.append((position, next(var_iter)))
-        first_position: dict[str, int] = {}
-        equalities: list[tuple[int, int]] = []
-        for position, variable in variable_positions:
-            if variable in first_position:
-                equalities.append((first_position[variable], position))
-            else:
-                first_position[variable] = position
+        first_position, equalities, out_positions = _scan_layout(scan, base)
         header = scan.columns
         arity = len(header)
-        out_positions = [first_position[variable] for variable in header]
         constants = list(scan.constants)
         key = plan_key(scan)
         base_rows = base.rows
@@ -410,6 +416,7 @@ class CompiledEngine:
                     variable: base.columns[position]
                     for variable, position in first_position.items()
                 },
+                source_positions=dict(first_position),
             )
 
         getter = _tuple_extractor(out_positions)
@@ -449,16 +456,39 @@ def _unit_children(node: Plan) -> tuple[Plan, ...]:
     raise PlanError(f"unknown plan node {node!r}")
 
 
+def _scan_layout(scan: Scan, base: Relation):
+    """Compile-time layout of a scan over ``base``: the first position of
+    each variable, repeated-variable equalities, and the positions that
+    realize the scan's output header."""
+    n_positions = len(scan.variables) + len(scan.constants)
+    if n_positions != base.arity:
+        raise SchemaError(
+            f"atom over {scan.relation!r} binds {n_positions} positions, "
+            f"relation has arity {base.arity}"
+        )
+    constant_positions = dict(scan.constants)
+    variable_positions: list[tuple[int, str]] = []
+    var_iter = iter(scan.variables)
+    for position in range(base.arity):
+        if position in constant_positions:
+            continue
+        variable_positions.append((position, next(var_iter)))
+    first_position: dict[str, int] = {}
+    equalities: list[tuple[int, int]] = []
+    for position, variable in variable_positions:
+        if variable in first_position:
+            equalities.append((first_position[variable], position))
+        else:
+            first_position[variable] = position
+    out_positions = [first_position[variable] for variable in scan.columns]
+    return first_position, equalities, out_positions
+
+
 def _join_layout(left_cols: tuple[str, ...], right_cols: tuple[str, ...]):
-    """Compile-time layout shared by all join-shaped units."""
-    right_set = set(right_cols)
-    shared = tuple(name for name in left_cols if name in right_set)
-    shared_set = set(shared)
-    left_key = [left_cols.index(name) for name in shared]
-    right_key = [right_cols.index(name) for name in shared]
-    right_extra = [
-        index for index, name in enumerate(right_cols) if name not in shared_set
-    ]
+    """Compile-time layout shared by all join-shaped units (memoized in
+    :func:`repro.relalg.relation.join_layout`; the output header, which
+    join units take from the plan node, is dropped here)."""
+    shared, _, left_key, right_key, right_extra = join_layout(left_cols, right_cols)
     return shared, left_key, right_key, right_extra
 
 
@@ -853,12 +883,1886 @@ def _compile_project(node: Project, children: tuple[_Unit, ...]) -> _Unit:
 
 
 # ----------------------------------------------------------------------
+# Vectorized (columnar) lowering
+# ----------------------------------------------------------------------
+# The vectorized backend reuses the whole compiled infrastructure — the
+# fusion grouping, the CSE cache, the execution drivers — but its unit
+# payloads are *batches* over the global dictionary codes of
+# :mod:`repro.relalg.columnar`, never sets of decoded rows.  A batch is
+# ``(nrows, payload)`` with two physical payload forms:
+#
+# - **row form** — a plain ``list`` of code tuples.  This is the
+#   small-batch representation (and the only one without numpy): its
+#   kernels mirror the compiled engine's hash-join closures, minus the
+#   per-output-row set hashing that the distinctness invariant (below)
+#   makes unnecessary.
+# - **array form** — a ``tuple`` of ``int64`` numpy arrays, one per
+#   column.  Its kernels are whole-array operations: multi-column keys
+#   are packed void-dtype records (compared by memcmp), matching and
+#   membership are sort + searchsorted, gathers are fancy indexing, and
+#   dedup is ``np.unique``.
+#
+# Each kernel dispatches per execution on its input cardinalities: if
+# either side holds at least ``_ARRAY_MIN`` rows the array path runs
+# (the per-call numpy overhead is amortized), otherwise the row path
+# does (lists of small tuples beat arrays by a wide margin there).
+# Payloads convert lazily at the representation boundary; the conversion
+# cost is bounded by the batch being converted, and a mixed-size join
+# only ever converts its small side.
+#
+# Scans are folded at compile time: a scan's batch depends only on the
+# (immutable) base relation, so it is precomputed once per compiled
+# unit — constant/equality selections included — and exposed on the
+# unit as ``const_batch``.  Parents exploit constant children: a join
+# whose right operand is a scan prebuilds its hash index (row path) or
+# its sorted key array (array path) during compilation, so the
+# steady-state cost of those joins is the probe loop alone.  A catalog
+# mutation bumps ``database.generation``, which drops every compiled
+# unit and its folded batches.
+#
+# The load-bearing invariant: **every unit's output batch is distinct.**
+# Base relations are sets; a filtered scan's dropped positions
+# (constants and repeated variables) are functionally determined by the
+# kept ones; a natural join of distinct inputs is distinct (key + extras
+# is the full right row); semijoins and filter-joins select subsets.
+# Only projection can create duplicates, so projection-shaped kernels
+# are the only ones that deduplicate — every other kernel emits straight
+# into a list or array without hashing its output rows.  Fused
+# project-over-join goes further: it groups both sides by join key and
+# emits per-key cross products of the *projected* distinct rows, so the
+# wide join result is counted (for the stats contract) but never
+# materialized.  The same invariant makes the logical cardinality of
+# each output equal to its batch length, so the stats calls below
+# reproduce the interpreter's counters exactly.
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+if _np is not None:
+    _NP_EMPTY = _np.empty(0, dtype=_np.int64)
+
+Batch = tuple[int, Any]
+
+#: Input batches at least this large take the array kernels (when numpy
+#: is available); anything smaller runs the row kernels.
+_ARRAY_MIN = 512
+
+
+def _to_rows(payload, nrows: int) -> list[tuple]:
+    """Batch payload in row form (a list of code tuples)."""
+    if type(payload) is list:
+        return payload
+    if not payload:
+        return [()] * nrows
+    if len(payload) == 1:
+        return list(zip(payload[0].tolist()))
+    return list(zip(*(col.tolist() for col in payload)))
+
+
+def _to_cols(batch: Batch, arity: int):
+    """Batch payload in array form (a tuple of ``int64`` columns)."""
+    nrows, payload = batch
+    if type(payload) is not list:
+        return payload
+    if not arity:
+        return ()
+    if not nrows:
+        return tuple(_NP_EMPTY for _ in range(arity))
+    stacked = _np.asarray(payload, dtype=_np.int64)
+    return tuple(stacked[:, j] for j in range(arity))
+
+
+def _const_rows(unit: _Unit) -> list[tuple] | None:
+    """Row form of a constant (scan) child's batch — but only when the
+    row path can ever probe it: always without numpy, below the array
+    threshold with it (larger constant children only ever meet the
+    array kernels).  Build-side structures derived from this are
+    computed once per compilation instead of once per execution."""
+    batch = unit.const_batch
+    if batch is None:
+        return None
+    if _np is not None and batch[0] >= _ARRAY_MIN:
+        return None
+    return _to_rows(batch[1], batch[0])
+
+
+# ----------------------------------------------------------------------
+# Array kernels' shared primitives (numpy-backed; optional)
+# ----------------------------------------------------------------------
+def _npkeys(cols, positions: Sequence[int]):
+    """Comparable 1-D key array for ``positions``: the ``int64`` column
+    itself for one position (zero-copy), a void view of the stacked
+    columns (one fixed-width record per row, memcmp-comparable) for
+    several."""
+    if len(positions) == 1:
+        return cols[positions[0]]
+    k = len(positions)
+    n = len(cols[positions[0]])
+    stacked = _np.empty((n, k), dtype=_np.int64)
+    for j, p in enumerate(positions):
+        stacked[:, j] = cols[p]
+    return stacked.view(f"V{8 * k}").ravel()
+
+
+def _npmask(lkeys, rsorted):
+    """Boolean membership mask of ``lkeys`` in the sorted, non-empty key
+    array ``rsorted``."""
+    pos = _np.searchsorted(rsorted, lkeys)
+    _np.minimum(pos, len(rsorted) - 1, out=pos)
+    return rsorted[pos] == lkeys
+
+
+def _npmatch_sorted(lkeys, order, rsorted):
+    """All matching (left_row, right_row) index pairs against a
+    pre-sorted right side: range-lookup each left key, expand the ranges
+    arithmetically into two aligned ``int64`` index arrays."""
+    lo = _np.searchsorted(rsorted, lkeys, side="left")
+    hi = _np.searchsorted(rsorted, lkeys, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if not total:
+        return _NP_EMPTY, _NP_EMPTY
+    lidx = _np.repeat(_np.arange(len(lkeys)), counts)
+    within = _np.arange(total) - _np.repeat(_np.cumsum(counts) - counts, counts)
+    ridx = order[_np.repeat(lo, counts) + within]
+    return lidx, ridx
+
+
+def _npmatch(lkeys, rkeys):
+    """:func:`_npmatch_sorted` with the right side sorted here."""
+    order = _np.argsort(rkeys, kind="stable")
+    return _npmatch_sorted(lkeys, order, rkeys[order])
+
+
+def _npdistinct_cols(cols, nrows: int):
+    """Distinct rows of an array batch (the projection kernel): returns
+    ``(cardinality, columns)``, reusing the input columns zero-copy when
+    nothing collapsed."""
+    if not cols:
+        return (1 if nrows else 0), ()
+    if not nrows:
+        return 0, cols
+    keys = cols[0] if len(cols) == 1 else _npkeys(cols, tuple(range(len(cols))))
+    first = _np.unique(keys, return_index=True)[1]
+    if len(first) == nrows:
+        return nrows, cols
+    return len(first), tuple(c[first] for c in cols)
+
+
+def _npjoin_index(batch: Batch, right_key: Sequence[int], rarity: int):
+    """Compile-time build side of :func:`_npmatch_sorted` for a constant
+    right child: its ``(order, sorted_keys)``, computed once."""
+    rkeys = _npkeys(_to_cols(batch, rarity), right_key)
+    order = _np.argsort(rkeys, kind="stable")
+    return order, rkeys[order]
+
+
+def _npsemijoin_lookup(right_unit: _Unit, right_key: Sequence[int], rarity: int):
+    """Sorted right-key array for array-path membership probes.  A
+    constant right child (any scan) is sorted here, once per
+    compilation; anything else sorts its batch each run."""
+    batch = right_unit.const_batch
+    if batch is not None:
+        rsorted = _np.sort(_npkeys(_to_cols(batch, rarity), right_key))
+
+        def lookup(rbatch: Batch):
+            return rsorted
+
+        return lookup
+
+    def lookup(rbatch: Batch):
+        return _np.sort(_npkeys(_to_cols(rbatch, rarity), right_key))
+
+    return lookup
+
+
+def _decode_batch(header: tuple[str, ...], batch: Batch) -> Relation:
+    """Final answer: decode a (distinct) batch into a ``Relation`` and
+    attach the columnar payload so downstream consumers reuse it."""
+    nrows, payload = batch
+    if type(payload) is list:
+        if header:
+            cols = (
+                tuple(map(list, zip(*payload)))
+                if payload
+                else tuple([] for _ in header)
+            )
+        else:
+            cols = ()
+    else:
+        cols = payload
+        if _np is not None:
+            cols = tuple(
+                col.tolist() if isinstance(col, _np.ndarray) else col
+                for col in cols
+            )
+    header = intern_header(header)
+    if not cols:
+        rows: frozenset[Row] = frozenset([()]) if nrows else frozenset()
+        result = Relation._from_trusted(header, rows)
+        result._colstore = ColumnStore((), nrows)
+        return result
+    rows = frozenset(zip(*map(decode_column, cols)))
+    result = Relation._from_trusted(header, rows)
+    result._colstore = ColumnStore(tuple(cols), nrows)
+    return result
+
+
+def _vsemijoin_lookup(
+    right_unit: _Unit, shared: tuple[str, ...], right_key: Sequence[int]
+):
+    """Membership structure for row-path semijoin-shaped probes.
+
+    A zero-copy scan probes the base relation's memoized
+    :meth:`ColumnStore.key_index` spans dict (built once per base
+    relation and key, shared across plan nodes, executions, and
+    engines); any other constant child's key set is built once per
+    compilation; anything else builds the key set from the right batch
+    each run.  All three support ``key in lookup(...)`` with the shared
+    key shapes (bare code / code tuple).
+    """
+    if right_unit.source is not None:
+        store = right_unit.source.columnar()
+        positions = tuple(right_unit.source_positions[name] for name in shared)
+
+        def lookup(rbatch: Batch):
+            return store.key_index(positions)[0]
+
+        return lookup
+
+    rkey = _key_extractor(right_key)
+    const = _const_rows(right_unit)
+    if const is not None:
+        keys = set(map(rkey, const))
+
+        def lookup(rbatch: Batch):
+            return keys
+
+        return lookup
+
+    def lookup(rbatch: Batch):
+        return set(map(rkey, _to_rows(rbatch[1], rbatch[0])))
+
+    return lookup
+
+
+def _vcompile_join(node: Join, children: tuple[_Unit, ...]) -> _Unit:
+    shared, left_key, right_key, right_extra = _join_layout(
+        node.left.columns, node.right.columns
+    )
+    header = node.columns
+    arity = len(header)
+    larity = len(node.left.columns)
+    rarity = len(node.right.columns)
+    key = plan_key(node)
+    use_np = _np is not None
+    trace = (arity,)
+
+    if not shared:
+        if use_np:
+
+            def run_cross_np(
+                stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+            ) -> Batch:
+                ln, rn = lbatch[0], rbatch[0]
+                lcols = _to_cols(lbatch, larity)
+                rcols = _to_cols(rbatch, rarity)
+                cardinality = ln * rn
+                out = tuple(_np.repeat(col, rn) for col in lcols) + tuple(
+                    _np.tile(col, ln) for col in rcols
+                )
+                stats.record_bulk(
+                    1, 0, 0, 0, cardinality, cardinality, cardinality,
+                    arity, ln + rn + cardinality, trace,
+                )
+                return cardinality, out
+
+        def run_cross(stats: ExecutionStats, lbatch: Batch, rbatch: Batch) -> Batch:
+            ln, rn = lbatch[0], rbatch[0]
+            if use_np and (ln >= _ARRAY_MIN or rn >= _ARRAY_MIN):
+                return run_cross_np(stats, lbatch, rbatch)
+            lrows = _to_rows(lbatch[1], ln)
+            rrows = _to_rows(rbatch[1], rn)
+            out = [lrow + rrow for lrow in lrows for rrow in rrows]
+            cardinality = ln * rn
+            stats.record_bulk(
+                1, 0, 0, 0, cardinality, cardinality, cardinality,
+                arity, ln + rn + cardinality, trace,
+            )
+            return cardinality, out
+
+        return _Unit(fn=run_cross, children=children, key=key, header=header)
+
+    if not right_extra:
+        # Semijoin-shaped join: the output is the matching left rows.
+        lkey = _key_extractor(left_key)
+        lookup = _vsemijoin_lookup(children[1], shared, right_key)
+        if use_np:
+            nplookup = _npsemijoin_lookup(children[1], right_key, rarity)
+
+            def run_filter_join_np(
+                stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+            ) -> Batch:
+                ln, rn = lbatch[0], rbatch[0]
+                if ln and rn:
+                    lcols = _to_cols(lbatch, larity)
+                    mask = _npmask(_npkeys(lcols, left_key), nplookup(rbatch))
+                    cardinality = int(mask.sum())
+                    out = (
+                        lbatch[1]  # nothing filtered: reuse the payload
+                        if cardinality == ln
+                        else tuple(col[mask] for col in lcols)
+                    )
+                else:
+                    cardinality = 0
+                    out = lbatch[1] if ln == 0 else []
+                stats.record_bulk(
+                    1, 0, 0, 0, cardinality, cardinality, cardinality,
+                    arity, ln + rn + cardinality, trace,
+                )
+                return cardinality, out
+
+        def run_filter_join(
+            stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+        ) -> Batch:
+            ln, rn = lbatch[0], rbatch[0]
+            if use_np and (ln >= _ARRAY_MIN or rn >= _ARRAY_MIN):
+                return run_filter_join_np(stats, lbatch, rbatch)
+            if ln and rn:
+                keys = lookup(rbatch)
+                out = [
+                    lrow
+                    for lrow in _to_rows(lbatch[1], ln)
+                    if lkey(lrow) in keys
+                ]
+                cardinality = len(out)
+                if cardinality == ln:
+                    out = lbatch[1]  # nothing filtered: reuse the payload
+            else:
+                cardinality = 0
+                out = lbatch[1] if ln == 0 else []
+            stats.record_bulk(
+                1, 0, 0, 0, cardinality, cardinality, cardinality,
+                arity, ln + rn + cardinality, trace,
+            )
+            return cardinality, out
+
+        return _Unit(fn=run_filter_join, children=children, key=key, header=header)
+
+    lkey = _key_extractor(left_key)
+    rkey = _key_extractor(right_key)
+    rext = _tuple_extractor(right_extra)
+    const = _const_rows(children[1])
+    rindex = None
+    if const is not None:
+        # The probe index over a constant right child, built once.
+        rindex = {}
+        get = rindex.get
+        for rrow in const:
+            k = rkey(rrow)
+            bucket = get(k)
+            if bucket is None:
+                rindex[k] = bucket = []
+            bucket.append(rext(rrow))
+    lconst = _const_rows(children[0]) if const is None else None
+    lindex = None
+    if lconst is not None:
+        # Constant left, dynamic right: prebuild the left-row index and
+        # stream the right rows through it instead of indexing either
+        # side per execution.
+        lindex = {}
+        get = lindex.get
+        for lrow in lconst:
+            k = lkey(lrow)
+            bucket = get(k)
+            if bucket is None:
+                lindex[k] = bucket = []
+            bucket.append(lrow)
+    if use_np:
+        rconst = children[1].const_batch
+        np_rindex = (
+            _npjoin_index(rconst, right_key, rarity)
+            if rconst is not None and rconst[0]
+            else None
+        )
+
+        def run_join_np(
+            stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+        ) -> Batch:
+            ln, rn = lbatch[0], rbatch[0]
+            if ln and rn:
+                lcols = _to_cols(lbatch, larity)
+                rcols = _to_cols(rbatch, rarity)
+                lkeys = _npkeys(lcols, left_key)
+                if np_rindex is not None:
+                    lidx, ridx = _npmatch_sorted(lkeys, *np_rindex)
+                else:
+                    lidx, ridx = _npmatch(lkeys, _npkeys(rcols, right_key))
+                cardinality = len(lidx)
+                out = tuple(col[lidx] for col in lcols) + tuple(
+                    rcols[p][ridx] for p in right_extra
+                )
+            else:
+                cardinality = 0
+                out = []
+            stats.record_bulk(
+                1, 0, 0, 0, cardinality, cardinality, cardinality,
+                arity, ln + rn + cardinality, trace,
+            )
+            return cardinality, out
+
+    def run_join(stats: ExecutionStats, lbatch: Batch, rbatch: Batch) -> Batch:
+        ln, rn = lbatch[0], rbatch[0]
+        if use_np and (ln >= _ARRAY_MIN or rn >= _ARRAY_MIN):
+            return run_join_np(stats, lbatch, rbatch)
+        out: list[tuple] = []
+        append = out.append
+        if rindex is not None:
+            get = rindex.get
+            for lrow in _to_rows(lbatch[1], ln):
+                bucket = get(lkey(lrow))
+                if bucket is not None:
+                    for extra in bucket:
+                        append(lrow + extra)
+        elif lindex is not None:
+            get = lindex.get
+            for rrow in _to_rows(rbatch[1], rn):
+                bucket = get(rkey(rrow))
+                if bucket is not None:
+                    extra = rext(rrow)
+                    for lrow in bucket:
+                        append(lrow + extra)
+        else:
+            lrows = _to_rows(lbatch[1], ln)
+            rrows = _to_rows(rbatch[1], rn)
+            if ln <= rn:
+                index: dict = {}
+                get = index.get
+                for lrow in lrows:
+                    k = lkey(lrow)
+                    bucket = get(k)
+                    if bucket is None:
+                        index[k] = bucket = []
+                    bucket.append(lrow)
+                for rrow in rrows:
+                    bucket = get(rkey(rrow))
+                    if bucket is not None:
+                        extra = rext(rrow)
+                        for lrow in bucket:
+                            append(lrow + extra)
+            else:
+                index = {}
+                get = index.get
+                for rrow in rrows:
+                    k = rkey(rrow)
+                    bucket = get(k)
+                    if bucket is None:
+                        index[k] = bucket = []
+                    bucket.append(rext(rrow))
+                for lrow in lrows:
+                    bucket = get(lkey(lrow))
+                    if bucket is not None:
+                        for extra in bucket:
+                            append(lrow + extra)
+        cardinality = len(out)
+        stats.record_bulk(
+            1, 0, 0, 0, cardinality, cardinality, cardinality,
+            arity, ln + rn + cardinality, trace,
+        )
+        return cardinality, out
+
+    return _Unit(fn=run_join, children=children, key=key, header=header)
+
+
+def _vcompile_semijoin(node: Semijoin, children: tuple[_Unit, ...]) -> _Unit:
+    shared, left_key, right_key, _ = _join_layout(
+        node.left.columns, node.right.columns
+    )
+    header = node.columns
+    arity = len(header)
+    larity = len(node.left.columns)
+    rarity = len(node.right.columns)
+    key = plan_key(node)
+    use_np = _np is not None
+    trace = (arity,)
+
+    if not shared:
+
+        def run_degenerate(
+            stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+        ) -> Batch:
+            out = lbatch if rbatch[0] else (0, [])
+            n = out[0]
+            stats.record_bulk(0, 1, 0, 0, n, 0, n, arity, 0, trace)
+            return out
+
+        return _Unit(fn=run_degenerate, children=children, key=key, header=header)
+
+    lkey = _key_extractor(left_key)
+    lookup = _vsemijoin_lookup(children[1], shared, right_key)
+    if use_np:
+        nplookup = _npsemijoin_lookup(children[1], right_key, rarity)
+
+        def run_semijoin_np(
+            stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+        ) -> Batch:
+            ln, rn = lbatch[0], rbatch[0]
+            if ln and rn:
+                lcols = _to_cols(lbatch, larity)
+                mask = _npmask(_npkeys(lcols, left_key), nplookup(rbatch))
+                matched = int(mask.sum())
+                if matched == ln:
+                    stats.record_bulk(0, 1, 0, 0, ln, 0, ln, arity, 0, trace)
+                    return lbatch  # nothing filtered: reuse the input batch
+                stats.record_bulk(
+                    0, 1, 0, 0, matched, matched, matched, arity, 0, trace
+                )
+                return matched, tuple(col[mask] for col in lcols)
+            stats.record_bulk(0, 1, 0, 0, 0, 0, 0, arity, 0, trace)
+            return lbatch if ln == 0 else (0, [])
+
+    def run_semijoin(stats: ExecutionStats, lbatch: Batch, rbatch: Batch) -> Batch:
+        ln, rn = lbatch[0], rbatch[0]
+        if use_np and (ln >= _ARRAY_MIN or rn >= _ARRAY_MIN):
+            return run_semijoin_np(stats, lbatch, rbatch)
+        if ln and rn:
+            keys = lookup(rbatch)
+            out = [
+                lrow for lrow in _to_rows(lbatch[1], ln) if lkey(lrow) in keys
+            ]
+        else:
+            out = []
+        matched = len(out)
+        if matched == ln:
+            stats.record_bulk(0, 1, 0, 0, ln, 0, ln, arity, 0, trace)
+            return lbatch  # nothing filtered: reuse the input batch
+        stats.record_bulk(0, 1, 0, 0, matched, matched, matched, arity, 0, trace)
+        return matched, out
+
+    return _Unit(fn=run_semijoin, children=children, key=key, header=header)
+
+
+def _vcompile_project_join(node: Project, children: tuple[_Unit, ...]) -> _Unit:
+    join = node.child
+    assert isinstance(join, Join)
+    left_cols = join.left.columns
+    right_cols = join.right.columns
+    shared, left_key, right_key, right_extra = _join_layout(left_cols, right_cols)
+    shared_set = set(shared)
+    extra_cols = tuple(name for name in right_cols if name not in shared_set)
+    wide_arity = len(join.columns)
+    header = node.columns
+    out_arity = len(header)
+    larity = len(left_cols)
+    rarity = len(right_cols)
+    key = plan_key(node)
+    use_np = _np is not None
+
+    spec = _project_spec(header, left_cols, extra_cols)
+    left_only = all(side == "l" for side, _ in spec)
+    left_positions = tuple(index for _, index in spec)
+    # Candidates are emitted from (projected-left, projected-extra) row
+    # pairs; ``spec_ord`` rewrites each spec index to its side ordinal.
+    lproj = tuple(index for side, index in spec if side == "l")
+    eproj = tuple(right_extra[index] for side, index in spec if side == "e")
+    ordinals: list[tuple[str, int]] = []
+    lcount = ecount = 0
+    for side, _ in spec:
+        if side == "l":
+            ordinals.append(("l", lcount))
+            lcount += 1
+        else:
+            ordinals.append(("e", ecount))
+            ecount += 1
+    spec_ord = tuple(ordinals)
+    # Concat-shaped projection (all kept left columns, in order, then
+    # all kept extras, in order): the emitted row is plain ``lt + et``,
+    # which the hot pair loops use directly instead of a generated
+    # per-pair lambda call.
+    concat = spec_ord == tuple(
+        [("l", i) for i in range(lcount)] + [("e", i) for i in range(ecount)]
+    )
+
+    pj_max_arity = wide_arity if wide_arity > out_arity else out_arity
+    pj_trace = (wide_arity, out_arity)
+
+    def finish(
+        stats: ExecutionStats, ln: int, rn: int, wide: int, out_card: int
+    ) -> None:
+        # Same two fused nodes, same post-order as _compile_project_join,
+        # folded into one bulk update (join + unbuilt wide output, then
+        # projection + built output).
+        stats.record_bulk(
+            1, 0, 1, 0,
+            wide + out_card, out_card,
+            wide if wide > out_card else out_card,
+            pj_max_arity, ln + rn + wide, pj_trace,
+        )
+
+    if not shared:
+        if left_only:
+            eml = _tuple_extractor(left_positions)
+            if use_np:
+
+                def run_cross_left_np(
+                    stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+                ) -> Batch:
+                    ln, rn = lbatch[0], rbatch[0]
+                    if ln and rn:
+                        lcols = _to_cols(lbatch, larity)
+                        out = _npdistinct_cols(
+                            tuple(lcols[p] for p in left_positions), ln
+                        )
+                    else:
+                        out = 0, []
+                    finish(stats, ln, rn, ln * rn, out[0])
+                    return out
+
+            def run_cross_left(
+                stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+            ) -> Batch:
+                ln, rn = lbatch[0], rbatch[0]
+                if use_np and (ln >= _ARRAY_MIN or rn >= _ARRAY_MIN):
+                    return run_cross_left_np(stats, lbatch, rbatch)
+                if ln and rn:
+                    distinct = list(
+                        dict.fromkeys(map(eml, _to_rows(lbatch[1], ln)))
+                    )
+                    out = len(distinct), distinct
+                else:
+                    out = 0, []
+                finish(stats, ln, rn, ln * rn, out[0])
+                return out
+
+            return _Unit(
+                fn=run_cross_left, children=children, key=key, header=header
+            )
+
+        emlp = _tuple_extractor(lproj)
+        emep = _tuple_extractor(eproj)
+        emit = _pair_emitter(spec_ord)
+        econst = _const_rows(children[1])
+        eset_const = (
+            dict.fromkeys(map(emep, econst)) if econst is not None else None
+        )
+        if use_np:
+
+            def run_cross_project_np(
+                stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+            ) -> Batch:
+                # π(L × R) = π_l(L) × π_e(R): dedup each side and cross
+                # the distinct sides — concatenations of distinct
+                # fixed-arity tuples are distinct, so no global dedup
+                # and never a wide materialization.
+                ln, rn = lbatch[0], rbatch[0]
+                if ln and rn:
+                    lcols = _to_cols(lbatch, larity)
+                    rcols = _to_cols(rbatch, rarity)
+                    lcard, lu = _npdistinct_cols(
+                        tuple(lcols[p] for p in lproj), ln
+                    )
+                    ecard, eu = _npdistinct_cols(
+                        tuple(rcols[p] for p in eproj), rn
+                    )
+                    out_cols = tuple(
+                        _np.repeat(lu[o], ecard)
+                        if side == "l"
+                        else _np.tile(eu[o], lcard)
+                        for side, o in spec_ord
+                    )
+                    out = lcard * ecard, out_cols
+                else:
+                    out = 0, []
+                finish(stats, ln, rn, ln * rn, out[0])
+                return out
+
+        def run_cross_project(
+            stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+        ) -> Batch:
+            ln, rn = lbatch[0], rbatch[0]
+            if use_np and (ln >= _ARRAY_MIN or rn >= _ARRAY_MIN):
+                return run_cross_project_np(stats, lbatch, rbatch)
+            if ln and rn:
+                # π(L × R) = π_l(L) × π_e(R): concatenations of distinct
+                # fixed-arity tuples are distinct, so no global dedup.
+                lset = dict.fromkeys(map(emlp, _to_rows(lbatch[1], ln)))
+                eset = (
+                    eset_const
+                    if eset_const is not None
+                    else dict.fromkeys(map(emep, _to_rows(rbatch[1], rn)))
+                )
+                if concat:
+                    out_rows = [lt + et for lt in lset for et in eset]
+                else:
+                    out_rows = [emit(lt, et) for lt in lset for et in eset]
+                out = len(out_rows), out_rows
+            else:
+                out = 0, []
+            finish(stats, ln, rn, ln * rn, out[0])
+            return out
+
+        return _Unit(
+            fn=run_cross_project, children=children, key=key, header=header
+        )
+
+    lkey = _key_extractor(left_key)
+
+    if not right_extra:
+        # Semijoin-shaped join under a projection: filter and project in
+        # one pass, deduplicating only the surviving projected rows.
+        eml = _tuple_extractor(left_positions)
+        lookup = _vsemijoin_lookup(children[1], shared, right_key)
+        if use_np:
+            nplookup = _npsemijoin_lookup(children[1], right_key, rarity)
+
+            def run_filter_project_np(
+                stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+            ) -> Batch:
+                ln, rn = lbatch[0], rbatch[0]
+                if ln and rn:
+                    lcols = _to_cols(lbatch, larity)
+                    mask = _npmask(_npkeys(lcols, left_key), nplookup(rbatch))
+                    wide = int(mask.sum())
+                    out = _npdistinct_cols(
+                        tuple(lcols[p][mask] for p in left_positions), wide
+                    )
+                else:
+                    wide = 0
+                    out = 0, []
+                finish(stats, ln, rn, wide, out[0])
+                return out
+
+        def run_filter_project(
+            stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+        ) -> Batch:
+            ln, rn = lbatch[0], rbatch[0]
+            if use_np and (ln >= _ARRAY_MIN or rn >= _ARRAY_MIN):
+                return run_filter_project_np(stats, lbatch, rbatch)
+            wide = 0
+            cand: dict = {}
+            if ln and rn:
+                keys = lookup(rbatch)
+                for lrow in _to_rows(lbatch[1], ln):
+                    if lkey(lrow) in keys:
+                        wide += 1
+                        cand[eml(lrow)] = None
+            out_rows = list(cand)
+            finish(stats, ln, rn, wide, len(out_rows))
+            return len(out_rows), out_rows
+
+        return _Unit(
+            fn=run_filter_project, children=children, key=key, header=header
+        )
+
+    rkey = _key_extractor(right_key)
+    const = _const_rows(children[1])
+
+    if left_only:
+        # No right-hand column survives the projection: one candidate
+        # output row per matching left row, while the wide cardinality is
+        # the sum of right key multiplicities (right rows are distinct,
+        # so each key's extras are distinct — the multiplicity is counted
+        # without ever expanding a pair).
+        eml = _tuple_extractor(left_positions)
+        counts_const = Counter(map(rkey, const)) if const is not None else None
+        lconst_rows = _const_rows(children[0]) if const is None else None
+        lbuckets_left = None
+        if lconst_rows is not None:
+            # Constant left, dynamic right: bucket the projected left
+            # rows by key once at compile time and stream the dynamic
+            # right rows through it — no per-execution Counter build.
+            lbuckets_left = {}
+            get = lbuckets_left.get
+            for lrow in lconst_rows:
+                k = lkey(lrow)
+                bucket = get(k)
+                if bucket is None:
+                    lbuckets_left[k] = bucket = []
+                bucket.append(eml(lrow))
+        if use_np:
+            rconst = children[1].const_batch
+            np_rsorted = (
+                _npjoin_index(rconst, right_key, rarity)[1]
+                if rconst is not None and rconst[0]
+                else None
+            )
+
+            def run_project_join_left_np(
+                stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+            ) -> Batch:
+                ln, rn = lbatch[0], rbatch[0]
+                if ln and rn:
+                    lcols = _to_cols(lbatch, larity)
+                    rsorted = (
+                        np_rsorted
+                        if np_rsorted is not None
+                        else _np.sort(
+                            _npkeys(_to_cols(rbatch, rarity), right_key)
+                        )
+                    )
+                    lkeys = _npkeys(lcols, left_key)
+                    lo = _np.searchsorted(rsorted, lkeys, side="left")
+                    hi = _np.searchsorted(rsorted, lkeys, side="right")
+                    counts = hi - lo
+                    wide = int(counts.sum())
+                    mask = counts > 0
+                    out = _npdistinct_cols(
+                        tuple(lcols[p][mask] for p in left_positions),
+                        int(mask.sum()),
+                    )
+                else:
+                    wide = 0
+                    out = 0, []
+                finish(stats, ln, rn, wide, out[0])
+                return out
+
+        def run_project_join_left(
+            stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+        ) -> Batch:
+            ln, rn = lbatch[0], rbatch[0]
+            if use_np and (ln >= _ARRAY_MIN or rn >= _ARRAY_MIN):
+                return run_project_join_left_np(stats, lbatch, rbatch)
+            wide = 0
+            cand: dict = {}
+            if ln and rn:
+                if lbuckets_left is not None:
+                    lget = lbuckets_left.get
+                    added: set = set()
+                    add = added.add
+                    for rrow in _to_rows(rbatch[1], rn):
+                        k = rkey(rrow)
+                        bucket = lget(k)
+                        if bucket is not None:
+                            wide += len(bucket)
+                            if k not in added:
+                                add(k)
+                                for lt in bucket:
+                                    cand[lt] = None
+                else:
+                    counts = (
+                        counts_const
+                        if counts_const is not None
+                        else Counter(map(rkey, _to_rows(rbatch[1], rn)))
+                    )
+                    get = counts.get
+                    for lrow in _to_rows(lbatch[1], ln):
+                        c = get(lkey(lrow))
+                        if c:
+                            wide += c
+                            cand[eml(lrow)] = None
+            out_rows = list(cand)
+            finish(stats, ln, rn, wide, len(out_rows))
+            return len(out_rows), out_rows
+
+        return _Unit(
+            fn=run_project_join_left, children=children, key=key, header=header
+        )
+
+    emlp = _tuple_extractor(lproj)
+    emep = _tuple_extractor(eproj)
+    emit = _pair_emitter(spec_ord)
+    lconst = _const_rows(children[0]) if const is None else None
+    lbuckets_const = None
+    if lconst is not None:
+        # Constant left, dynamic right (the bucket-method towers): index
+        # the left side's *projected* rows by key once at compile time
+        # and stream the dynamic right rows through it — no per-execution
+        # index build at all.  Bucket lengths are left key multiplicities
+        # (left rows are distinct pre-projection), which is what the wide
+        # cardinality sums.
+        lbuckets_const = {}
+        get = lbuckets_const.get
+        for lrow in lconst:
+            k = lkey(lrow)
+            bucket = get(k)
+            if bucket is None:
+                lbuckets_const[k] = bucket = []
+            bucket.append(emlp(lrow))
+    rbuckets_const = None
+    if const is not None:
+        # Bucket the constant right child's *projected* extras by key
+        # once, at compile time.  Duplicates are kept: a bucket's length
+        # is the key's right multiplicity, which is what the wide join
+        # cardinality counts.
+        rbuckets_const = {}
+        get = rbuckets_const.get
+        for rrow in const:
+            k = rkey(rrow)
+            bucket = get(k)
+            if bucket is None:
+                rbuckets_const[k] = bucket = []
+            bucket.append(emep(rrow))
+    if use_np:
+        rconst = children[1].const_batch
+        np_rindex = (
+            _npjoin_index(rconst, right_key, rarity)
+            if rconst is not None and rconst[0]
+            else None
+        )
+
+        def run_project_join_np(
+            stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+        ) -> Batch:
+            ln, rn = lbatch[0], rbatch[0]
+            if ln and rn:
+                lcols = _to_cols(lbatch, larity)
+                rcols = _to_cols(rbatch, rarity)
+                lkeys = _npkeys(lcols, left_key)
+                if np_rindex is not None:
+                    lidx, ridx = _npmatch_sorted(lkeys, *np_rindex)
+                else:
+                    lidx, ridx = _npmatch(lkeys, _npkeys(rcols, right_key))
+                wide = len(lidx)
+                wide_cols = tuple(
+                    lcols[i][lidx]
+                    if side == "l"
+                    else rcols[right_extra[i]][ridx]
+                    for side, i in spec
+                )
+                out = _npdistinct_cols(wide_cols, wide)
+            else:
+                wide = 0
+                out = 0, []
+            finish(stats, ln, rn, wide, out[0])
+            return out
+
+    def run_project_join(
+        stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+    ) -> Batch:
+        # Probe a key -> projected-extras bucket index and emit the
+        # projected pair straight into the candidate dict: the wide join
+        # result is counted (bucket lengths are key multiplicities) but
+        # never materialized.  A constant right child's index is
+        # prebuilt, so the steady-state cost is the probe loop alone.
+        ln, rn = lbatch[0], rbatch[0]
+        if use_np and (ln >= _ARRAY_MIN or rn >= _ARRAY_MIN):
+            return run_project_join_np(stats, lbatch, rbatch)
+        wide = 0
+        cand: dict = {}
+        if ln and rn:
+            if lbuckets_const is not None:
+                lget = lbuckets_const.get
+                if concat:
+                    for rrow in _to_rows(rbatch[1], rn):
+                        bucket = lget(rkey(rrow))
+                        if bucket is not None:
+                            wide += len(bucket)
+                            et = emep(rrow)
+                            for lt in bucket:
+                                cand[lt + et] = None
+                else:
+                    for rrow in _to_rows(rbatch[1], rn):
+                        bucket = lget(rkey(rrow))
+                        if bucket is not None:
+                            wide += len(bucket)
+                            et = emep(rrow)
+                            for lt in bucket:
+                                cand[emit(lt, et)] = None
+                out_rows = list(cand)
+                finish(stats, ln, rn, wide, len(out_rows))
+                return len(out_rows), out_rows
+            if rbuckets_const is not None:
+                rget = rbuckets_const.get
+            else:
+                rbuckets: dict = {}
+                rget = rbuckets.get
+                for rrow in _to_rows(rbatch[1], rn):
+                    k = rkey(rrow)
+                    bucket = rget(k)
+                    if bucket is None:
+                        rbuckets[k] = bucket = []
+                    bucket.append(emep(rrow))
+            if concat:
+                for lrow in _to_rows(lbatch[1], ln):
+                    bucket = rget(lkey(lrow))
+                    if bucket is not None:
+                        wide += len(bucket)
+                        lt = emlp(lrow)
+                        for et in bucket:
+                            cand[lt + et] = None
+            else:
+                for lrow in _to_rows(lbatch[1], ln):
+                    bucket = rget(lkey(lrow))
+                    if bucket is not None:
+                        wide += len(bucket)
+                        lt = emlp(lrow)
+                        for et in bucket:
+                            cand[emit(lt, et)] = None
+        out_rows = list(cand)
+        finish(stats, ln, rn, wide, len(out_rows))
+        return len(out_rows), out_rows
+
+    return _Unit(fn=run_project_join, children=children, key=key, header=header)
+
+
+def _vcompile_project_semijoin(
+    node: Project, children: tuple[_Unit, ...]
+) -> _Unit:
+    semi = node.child
+    assert isinstance(semi, Semijoin)
+    left_cols = semi.left.columns
+    shared, left_key, right_key, _ = _join_layout(left_cols, semi.right.columns)
+    semi_arity = len(semi.columns)
+    header = node.columns
+    out_arity = len(header)
+    larity = len(left_cols)
+    rarity = len(semi.right.columns)
+    key = plan_key(node)
+    positions = tuple(left_cols.index(name) for name in header)
+    eml = _tuple_extractor(positions)
+    use_np = _np is not None
+
+    ps_max_arity = semi_arity if semi_arity > out_arity else out_arity
+    ps_trace = (semi_arity, out_arity)
+
+    def finish(stats: ExecutionStats, matched: int, out_card: int) -> None:
+        # Semijoin (unbuilt) + projection (built) as one bulk update.
+        stats.record_bulk(
+            0, 1, 1, 0,
+            matched + out_card, out_card,
+            matched if matched > out_card else out_card,
+            ps_max_arity, 0, ps_trace,
+        )
+
+    if not shared:
+        if use_np:
+
+            def run_degenerate_np(
+                stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+            ) -> Batch:
+                ln = lbatch[0]
+                if rbatch[0]:
+                    matched = ln
+                    lcols = _to_cols(lbatch, larity)
+                    out = _npdistinct_cols(
+                        tuple(lcols[p] for p in positions), ln
+                    )
+                else:
+                    matched = 0
+                    out = 0, []
+                finish(stats, matched, out[0])
+                return out
+
+        def run_degenerate(
+            stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+        ) -> Batch:
+            ln = lbatch[0]
+            if use_np and ln >= _ARRAY_MIN:
+                return run_degenerate_np(stats, lbatch, rbatch)
+            if rbatch[0]:
+                matched = ln
+                distinct = list(dict.fromkeys(map(eml, _to_rows(lbatch[1], ln))))
+                out = len(distinct), distinct
+            else:
+                matched = 0
+                out = 0, []
+            finish(stats, matched, out[0])
+            return out
+
+        return _Unit(fn=run_degenerate, children=children, key=key, header=header)
+
+    lkey = _key_extractor(left_key)
+    lookup = _vsemijoin_lookup(children[1], shared, right_key)
+    if use_np:
+        nplookup = _npsemijoin_lookup(children[1], right_key, rarity)
+
+        def run_project_semijoin_np(
+            stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+        ) -> Batch:
+            ln, rn = lbatch[0], rbatch[0]
+            if ln and rn:
+                lcols = _to_cols(lbatch, larity)
+                mask = _npmask(_npkeys(lcols, left_key), nplookup(rbatch))
+                matched = int(mask.sum())
+                out = _npdistinct_cols(
+                    tuple(lcols[p][mask] for p in positions), matched
+                )
+            else:
+                matched = 0
+                out = 0, []
+            finish(stats, matched, out[0])
+            return out
+
+    def run_project_semijoin(
+        stats: ExecutionStats, lbatch: Batch, rbatch: Batch
+    ) -> Batch:
+        ln, rn = lbatch[0], rbatch[0]
+        if use_np and (ln >= _ARRAY_MIN or rn >= _ARRAY_MIN):
+            return run_project_semijoin_np(stats, lbatch, rbatch)
+        matched = 0
+        cand: dict = {}
+        if ln and rn:
+            keys = lookup(rbatch)
+            for lrow in _to_rows(lbatch[1], ln):
+                if lkey(lrow) in keys:
+                    matched += 1
+                    cand[eml(lrow)] = None
+        out_rows = list(cand)
+        finish(stats, matched, len(out_rows))
+        return len(out_rows), out_rows
+
+    return _Unit(
+        fn=run_project_semijoin, children=children, key=key, header=header
+    )
+
+
+def _vcompile_project(node: Project, children: tuple[_Unit, ...]) -> _Unit:
+    child_cols = node.child.columns
+    header = node.columns
+    arity = len(header)
+    carity = len(child_cols)
+    key = plan_key(node)
+    positions = tuple(child_cols.index(name) for name in header)
+    use_np = _np is not None
+    trace = (arity,)
+
+    if positions == tuple(range(carity)):
+
+        def run_identity(stats: ExecutionStats, cbatch: Batch) -> Batch:
+            n = cbatch[0]
+            stats.record_bulk(0, 0, 1, 0, n, 0, n, arity, 0, trace)
+            return cbatch
+
+        return _Unit(fn=run_identity, children=children, key=key, header=header)
+
+    eml = _tuple_extractor(positions)
+    if use_np:
+
+        def run_project_np(stats: ExecutionStats, cbatch: Batch) -> Batch:
+            nrows = cbatch[0]
+            cols = _to_cols(cbatch, carity)
+            out = _npdistinct_cols(tuple(cols[p] for p in positions), nrows)
+            n = out[0]
+            stats.record_bulk(0, 0, 1, 0, n, n, n, arity, 0, trace)
+            return out
+
+    def run_project(stats: ExecutionStats, cbatch: Batch) -> Batch:
+        nrows = cbatch[0]
+        if use_np and nrows >= _ARRAY_MIN:
+            return run_project_np(stats, cbatch)
+        out_rows = list(dict.fromkeys(map(eml, _to_rows(cbatch[1], nrows))))
+        n = len(out_rows)
+        stats.record_bulk(0, 0, 1, 0, n, n, n, arity, 0, trace)
+        return n, out_rows
+
+    return _Unit(fn=run_project, children=children, key=key, header=header)
+
+
+def _vcompile_project_scan(node: Project, scan_unit: _Unit) -> _Unit:
+    """Fold a projection of a scan into a constant unit.
+
+    A projected scan is a function of one immutable base relation — the
+    same class of per-relation precomputation as the compile-time
+    selection folding in ``_compile_scan`` — so its batch is computed
+    once per compilation.  The unit records the scan's and projection's
+    stats itself (it absorbs the scan, keeping the interpreter's
+    post-order trace), and passes the base relation's position map
+    through so parents still probe the base key index zero-copy.
+    """
+    child_cols = node.child.columns
+    header = node.columns
+    arity = len(header)
+    s_n, s_payload = scan_unit.const_batch
+    s_arity = len(child_cols)
+    # Identity scans pass the base store through (built=False); filtered
+    # scans materialized their batch (built=True) — mirror their stats.
+    s_built = scan_unit.source is None
+    positions = tuple(child_cols.index(name) for name in header)
+    identity = positions == tuple(range(s_arity))
+    if identity:
+        batch = scan_unit.const_batch
+    elif _np is not None and s_n >= _ARRAY_MIN:
+        cols = _to_cols(scan_unit.const_batch, s_arity)
+        batch = _npdistinct_cols(tuple(cols[p] for p in positions), s_n)
+    else:
+        eml = _tuple_extractor(positions)
+        rows = list(dict.fromkeys(map(eml, _to_rows(s_payload, s_n))))
+        batch = (len(rows), rows)
+    card = batch[0]
+    key = plan_key(node)
+    proj_built = not identity
+    # Every stats delta of the folded scan + projection pair is a
+    # compile-time constant, so the unit replays both events with a
+    # single precomputed bulk update.
+    c_total = s_n + card
+    c_built = (s_n if s_built else 0) + (card if proj_built else 0)
+    c_max_card = s_n if s_n > card else card
+    c_max_arity = s_arity if s_arity > arity else arity
+    c_trace = (s_arity, arity)
+
+    def run_project_const(stats: ExecutionStats) -> Batch:
+        stats.record_bulk(
+            0, 0, 1, 1, c_total, c_built, c_max_card, c_max_arity, 0, c_trace
+        )
+        return batch
+
+    unit = _Unit(
+        fn=run_project_const,
+        children=(),
+        key=key,
+        header=header,
+        const_batch=batch,
+    )
+    if scan_unit.source is not None:
+        # Projection of a zero-copy scan: the set of key values on the
+        # kept columns is unchanged by projection, so downstream
+        # semijoin probes can still hit the base relation's memoized
+        # key index.
+        unit.source = scan_unit.source
+        unit.source_columns = {
+            name: scan_unit.source_columns[name] for name in header
+        }
+        unit.source_positions = {
+            name: scan_unit.source_positions[name] for name in header
+        }
+    return unit
+
+
+# ----------------------------------------------------------------------
+# Chain pipeline fusion (vectorized)
+# ----------------------------------------------------------------------
+#: Longest fused chain; deeper chains break into several pipeline units,
+#: keeping generated nesting (and code size) bounded on the thousands-of-
+#: atoms plans of the Figure 6 scaling regime.
+_PIPE_MAX = 8
+
+
+@dataclass(eq=False)
+class _PipeStage:
+    """One fused Join/Semijoin over a constant right side."""
+
+    kind: str  # 'join' | 'filterjoin' | 'semi'
+    right: _Unit  # the absorbed constant right-side unit
+    n_right: int
+    left_key: tuple[int, ...]  # positions into the chain columns here
+    right_key: tuple[int, ...]
+    right_extra: tuple[int, ...]
+    extra_names: tuple[str, ...]
+    arity: int  # stage output arity
+
+
+@dataclass(eq=False)
+class _Pipe:
+    """Pipeline descriptor carried on a vectorized unit: its output is
+    ``source`` run through ``stages`` (a chain of joins/semijoins whose
+    right sides are all compile-time constants).  A parent operator that
+    can append one more stage fuses the whole chain into a single
+    generated kernel (:func:`_vcompile_pipeline`) instead of consuming
+    the unit's materialized output."""
+
+    source: _Unit
+    stages: tuple[_PipeStage, ...]
+    columns: tuple[str, ...]  # chain output columns (pre-projection)
+
+
+def _pipe_stage(node: Join | Semijoin, runit: _Unit) -> _PipeStage | None:
+    """Stage descriptor for ``node`` when its right side is a constant
+    unit probed on shared keys; ``None`` when the shape is not fusable
+    (dynamic right side, or a cross/degenerate operator)."""
+    if runit.const_batch is None:
+        return None
+    shared, left_key, right_key, right_extra = _join_layout(
+        node.left.columns, node.right.columns
+    )
+    if not shared:
+        return None
+    if isinstance(node, Semijoin):
+        kind, extra = "semi", ()
+    elif right_extra:
+        kind, extra = "join", right_extra
+    else:
+        kind, extra = "filterjoin", ()
+    return _PipeStage(
+        kind=kind,
+        right=runit,
+        n_right=runit.const_batch[0],
+        left_key=left_key,
+        right_key=right_key,
+        right_extra=extra,
+        extra_names=tuple(node.right.columns[p] for p in extra),
+        arity=len(node.columns),
+    )
+
+
+def _attach_pipe(
+    unit: _Unit, node: Join | Semijoin, children: tuple[_Unit, ...]
+) -> _Unit:
+    """Mark ``unit`` (a fresh join/semijoin kernel) as a one-stage
+    pipeline so a fusable parent can extend it."""
+    stage = _pipe_stage(node, children[1])
+    if stage is not None:
+        unit.pipe = _Pipe(
+            source=children[0], stages=(stage,), columns=node.columns
+        )
+    return unit
+
+
+def _pipe_finish(stages: tuple[_PipeStage, ...], project_arity: int | None):
+    """Per-execution stats closure of a fused chain.
+
+    Replays the interpreter's post-order event sequence — each absorbed
+    right subtree's own (static) events, then its operator's — from the
+    per-stage match counts, so every logical counter and the arity trace
+    stay byte-identical to the other engines.  Interior stages record
+    ``built=False``: the chain never materializes them, which is the one
+    sanctioned downward deviation of ``rows_built`` from the row-compiled
+    engine.  The final stage keeps the row engine's flags (materialized,
+    except a semijoin that filtered nothing) unless a projection tops the
+    chain, in which case the chain output is a fused-away wide result.
+
+    The absorbed right sides are constant units, so their entire stats
+    contribution is static: it is captured once here by replaying their
+    closures on a scratch object, and the per-execution ``finish`` folds
+    the static part plus the dynamic counts into a single
+    :meth:`ExecutionStats.record_bulk` call instead of re-issuing each
+    event.
+    """
+    static = ExecutionStats()
+    trace: list[int] = []
+    for st in stages:
+        before = len(static._arity_trace)
+        st.right.fn(static)  # scratch replay of the constant right side
+        trace.extend(static._arity_trace[before:])
+        trace.append(st.arity)
+    if project_arity is not None:
+        trace.append(project_arity)
+    kinds = tuple(st.kind for st in stages)
+    n_rights = tuple(st.n_right for st in stages)
+    is_join = tuple(kind != "semi" for kind in kinds)
+    n_stages = len(stages)
+    last = n_stages - 1
+    bare = project_arity is None
+    d_joins = static.joins + sum(is_join)
+    d_semis = static.semijoins + (n_stages - sum(is_join))
+    d_projs = static.projections + (0 if bare else 1)
+    d_scans = static.scans
+    s_total = static.total_intermediate_tuples
+    s_built = static.rows_built
+    s_max_card = static.max_intermediate_cardinality
+    s_peak = static.peak_live_tuples
+    d_max_arity = max(
+        static.max_intermediate_arity, *(st.arity for st in stages)
+    )
+    if project_arity is not None and project_arity > d_max_arity:
+        d_max_arity = project_arity
+    d_trace = tuple(trace)
+
+    def finish(stats: ExecutionStats, ln: int, counts, out_card: int) -> None:
+        total = s_total
+        built = s_built
+        max_card = s_max_card
+        peak = s_peak
+        prev = ln
+        for i in range(n_stages):
+            c = counts[i]
+            total += c
+            if c > max_card:
+                max_card = c
+            if is_join[i]:
+                live = prev + n_rights[i] + c
+                if live > peak:
+                    peak = live
+            prev = c
+        if bare:
+            c = counts[last]
+            if is_join[last] or c != (ln if last == 0 else counts[last - 1]):
+                built += c
+        else:
+            total += out_card
+            built += out_card
+            if out_card > max_card:
+                max_card = out_card
+        stats.record_bulk(
+            d_joins, d_semis, d_projs, d_scans,
+            total, built, max_card, d_max_arity, peak, d_trace,
+        )
+
+    return finish
+
+
+def _pipe_np_run(stats, lbatch, arity0, npstages, finish, proj_positions):
+    """Array-path executor of a fused chain: one gather per stage over
+    full-width columns (the same work the standalone array kernels would
+    do), with the match counts feeding the same ``finish`` bookkeeping
+    as the generated row kernel."""
+    ln = lbatch[0]
+    cols = _to_cols(lbatch, arity0)
+    counts = []
+    n = ln
+    for kind, n_right, left_key, np_index, np_extras, np_sorted in npstages:
+        if n == 0 or n_right == 0:
+            counts.append(0)
+            n = 0
+            continue
+        lkeys = _npkeys(cols, left_key)
+        if kind == "join":
+            lidx, ridx = _npmatch_sorted(lkeys, *np_index)
+            cols = tuple(col[lidx] for col in cols) + tuple(
+                e[ridx] for e in np_extras
+            )
+            n = len(lidx)
+        else:
+            mask = _npmask(lkeys, np_sorted)
+            cols = tuple(col[mask] for col in cols)
+            n = int(mask.sum())
+        counts.append(n)
+    if proj_positions is not None:
+        if n:
+            card, payload = _npdistinct_cols(
+                tuple(cols[p] for p in proj_positions), n
+            )
+        else:
+            card, payload = 0, []
+        finish(stats, ln, counts, card)
+        return card, payload
+    finish(stats, ln, counts, n)
+    return n, (cols if n else [])
+
+
+def _vcompile_pipeline(
+    node: Plan, pipe: _Pipe, project: tuple[str, ...] | None
+) -> _Unit:
+    """Fuse a chain of joins/semijoins over constant right sides (plus an
+    optional projection on top) into one generated nested-loop kernel.
+
+    The kernel iterates the dynamic source batch once; each stage is a
+    prebuilt dict/set probe, later stages read their key components
+    straight out of the loop variables (source row ``r0``, stage extras
+    ``e1``, ``e2``, ...), so no intermediate tuple is ever concatenated
+    or appended.  Interior cardinalities — which the logical counters
+    need exactly — are *counted* at each loop level: every iteration
+    reaching stage *i* corresponds to one distinct row of intermediate
+    *i-1* (the chain preserves the batch distinctness invariant), so
+    ``c_i`` accumulated as bucket lengths (joins) or survivors
+    (filters) equals the intermediate's distinct cardinality.  Inputs at
+    or above the array threshold divert to :func:`_pipe_np_run`, which
+    runs the same chain with whole-column gathers.
+    """
+    source = pipe.source
+    stages = pipe.stages
+    header = node.columns
+    key = plan_key(node)
+    use_np = _np is not None
+
+    # Replay the stages to map every chain column to its loop variable
+    # and offset, and to render each stage's probe-key expression.
+    colmap = {name: ("r0", off) for off, name in enumerate(source.header)}
+    cur_cols = list(source.header)
+    emit_segs = ["r0"]
+    key_exprs: list[str] = []
+    for i, st in enumerate(stages, 1):
+        parts = [colmap[cur_cols[p]] for p in st.left_key]
+        if len(parts) == 1:
+            v, o = parts[0]
+            key_exprs.append(f"{v}[{o}]")
+        else:
+            key_exprs.append(
+                "(" + ", ".join(f"{v}[{o}]" for v, o in parts) + ")"
+            )
+        if st.kind == "join":
+            var = f"e{i}"
+            emit_segs.append(var)
+            for off, name in enumerate(st.extra_names):
+                colmap[name] = (var, off)
+            cur_cols.extend(st.extra_names)
+
+    # Probe structures over the constant right sides, built once per
+    # compilation (the same per-relation precomputation the standalone
+    # kernels do for a constant child).
+    ns: dict[str, Any] = {"_to_rows": _to_rows}
+    for i, st in enumerate(stages, 1):
+        rbatch = st.right.const_batch
+        rrows = _to_rows(rbatch[1], rbatch[0])
+        rkey = _key_extractor(st.right_key)
+        if st.kind == "join":
+            rext = _tuple_extractor(st.right_extra)
+            rindex: dict = {}
+            get = rindex.get
+            for rrow in rrows:
+                k = rkey(rrow)
+                bucket = get(k)
+                if bucket is None:
+                    rindex[k] = bucket = []
+                bucket.append(rext(rrow))
+            ns[f"_g{i}"] = rindex.get
+        else:
+            ns[f"_s{i}"] = set(map(rkey, rrows))
+
+    finish = _pipe_finish(
+        stages, len(header) if project is not None else None
+    )
+    ns["_finish"] = finish
+
+    if use_np:
+        np_list = []
+        for st in stages:
+            rbatch = st.right.const_batch
+            rarity = len(st.right.header)
+            np_index = np_extras = np_sorted = None
+            if st.n_right:
+                rcols = _to_cols(rbatch, rarity)
+                if st.kind == "join":
+                    np_index = _npjoin_index(rbatch, st.right_key, rarity)
+                    np_extras = tuple(rcols[p] for p in st.right_extra)
+                else:
+                    np_sorted = _np.sort(_npkeys(rcols, st.right_key))
+            np_list.append(
+                (st.kind, st.n_right, st.left_key, np_index, np_extras, np_sorted)
+            )
+        npstages = tuple(np_list)
+        proj_positions = (
+            tuple(pipe.columns.index(name) for name in header)
+            if project is not None
+            else None
+        )
+        arity0 = len(source.header)
+
+        def np_fallback(stats, lbatch):
+            return _pipe_np_run(
+                stats, lbatch, arity0, npstages, finish, proj_positions
+            )
+
+        ns["_npfall"] = np_fallback
+        ns["_amin"] = _ARRAY_MIN
+        # One-cell adaptive-dispatch flag: set when a row pass trips the
+        # mid-flight restart guard, so subsequent executions of this unit
+        # go straight to the array path instead of re-discovering the
+        # blow-up (and paying for the abandoned row pass) every time.
+        ns["_mode"] = [0]
+
+    lines = [
+        "def run_pipe(stats, lbatch):",
+        "    ln = lbatch[0]",
+    ]
+    if use_np:
+        lines += [
+            "    if ln >= _amin or _mode[0]:",
+            "        return _npfall(stats, lbatch)",
+        ]
+    lines += [
+        "    rows = lbatch[1]",
+        "    if type(rows) is not list:",
+        "        rows = _to_rows(rows, ln)",
+    ]
+    for i in range(1, len(stages) + 1):
+        lines.append(f"    c{i} = 0")
+    if project is not None:
+        lines.append("    cand = {}")
+    else:
+        lines.append("    out = []")
+        lines.append("    _append = out.append")
+    pad = "    "
+    lines.append(pad + "for r0 in rows:")
+    pad += "    "
+    if use_np:
+        # A small source can still blow up through the join stages; the
+        # moment any intermediate crosses the array threshold, abandon
+        # the partial row pass (stats are untouched until the end) and
+        # redo the chain with whole-column kernels.  Filter stages only
+        # shrink, so checking the join counters bounds every
+        # intermediate; the wasted row work is at most one threshold's
+        # worth per stage.
+        guards = [
+            f"c{i} >= _amin"
+            for i, st in enumerate(stages, 1)
+            if st.kind == "join"
+        ]
+        if guards:
+            lines.append(f"{pad}if {' or '.join(guards)}:")
+            lines.append(f"{pad}    _mode[0] = 1")
+            lines.append(f"{pad}    return _npfall(stats, lbatch)")
+    for i, (st, kx) in enumerate(zip(stages, key_exprs), 1):
+        if st.kind == "join":
+            lines.append(f"{pad}b{i} = _g{i}({kx})")
+            lines.append(f"{pad}if b{i} is None:")
+            lines.append(f"{pad}    continue")
+            lines.append(f"{pad}c{i} += len(b{i})")
+            lines.append(f"{pad}for e{i} in b{i}:")
+            pad += "    "
+        else:
+            lines.append(f"{pad}if {kx} not in _s{i}:")
+            lines.append(f"{pad}    continue")
+            lines.append(f"{pad}c{i} += 1")
+    if project is not None:
+        if header:
+            parts = [colmap[name] for name in header]
+            inner = ", ".join(f"{v}[{o}]" for v, o in parts)
+            emit = f"({inner},)" if len(parts) == 1 else f"({inner})"
+        else:
+            emit = "()"
+        lines.append(f"{pad}cand[{emit}] = None")
+    else:
+        lines.append(f"{pad}_append({' + '.join(emit_segs)})")
+    if project is not None:
+        lines.append("    out = list(cand)")
+    counts = ", ".join(f"c{i}" for i in range(1, len(stages) + 1))
+    if len(stages) == 1:
+        counts += ","
+    lines.append(f"    _finish(stats, ln, ({counts}), len(out))")
+    lines.append("    return len(out), out")
+    exec(compile("\n".join(lines), "<repro.relalg.pipeline>", "exec"), ns)
+
+    unit = _Unit(
+        fn=ns["run_pipe"], children=(source,), key=key, header=header
+    )
+    if project is None:
+        # A bare chain can itself be extended by a fusable parent; a
+        # projection top dedups, which is a fusion barrier.
+        unit.pipe = pipe
+    return unit
+
+
+def _try_pipeline(
+    chain: Join | Semijoin,
+    children: tuple[_Unit, ...],
+    project: Project | None,
+) -> _Unit | None:
+    """Fused pipeline unit for ``chain`` (optionally topped by
+    ``project``) when its left child already carries a pipe and its
+    right side can become one more stage; ``None`` otherwise."""
+    base = children[0].pipe
+    if base is None or len(base.stages) >= _PIPE_MAX:
+        return None
+    stage = _pipe_stage(chain, children[1])
+    if stage is None:
+        return None
+    pipe = _Pipe(base.source, base.stages + (stage,), chain.columns)
+    if project is None:
+        return _vcompile_pipeline(chain, pipe, project=None)
+    return _vcompile_pipeline(project, pipe, project=project.columns)
+
+
+class VectorizedEngine(CompiledEngine):
+    """Compiled backend whose units operate on dictionary-encoded column
+    batches instead of row sets.
+
+    Compilation grouping and the common-subexpression cache are
+    inherited unchanged from :class:`CompiledEngine` (the cached driver
+    is payload-agnostic); the uncached driver is overridden with a
+    flattened-program interpreter, and the per-unit kernels and scan
+    lowering differ.  Scans bind the base relation's memoized
+    :meth:`Relation.columnar` store — dictionary encoding happens once
+    per base relation, and constant/equality selections are folded into
+    precomputed constant batches at compile time, which join and
+    semijoin parents exploit by prebuilding their probe structures once
+    per compilation.  The logical :class:`ExecutionStats` counters are
+    byte-identical to both other engines; ``rows_built`` matches the
+    compiled engine's (and is therefore never above the interpreter's).
+
+    Examples
+    --------
+    >>> from repro.relalg.database import edge_database
+    >>> from repro.plans import Scan, Join, Project
+    >>> db = edge_database()
+    >>> plan = Project(Join(Scan("edge", ("a", "b")), Scan("edge", ("b", "c"))), ("a",))
+    >>> VectorizedEngine(db).execute(plan).cardinality
+    3
+    """
+
+    def execute(self, plan: Plan, stats: ExecutionStats | None = None) -> Relation:
+        """Compile (or reuse) and evaluate ``plan`` over column batches."""
+        stats = stats if stats is not None else ExecutionStats()
+        self._check_generation()
+        unit = self._compile(plan)
+        return _decode_batch(unit.header, self._run(unit, stats))
+
+    def _build_unit(self, node: Plan, children: tuple[_Unit, ...]) -> _Unit:
+        if isinstance(node, Scan):
+            return self._compile_scan(node)
+        if isinstance(node, Join):
+            unit = _try_pipeline(node, children, project=None)
+            if unit is not None:
+                return unit
+            return _attach_pipe(_vcompile_join(node, children), node, children)
+        if isinstance(node, Semijoin):
+            unit = _try_pipeline(node, children, project=None)
+            if unit is not None:
+                return unit
+            return _attach_pipe(
+                _vcompile_semijoin(node, children), node, children
+            )
+        if isinstance(node, Project):
+            child = node.child
+            if isinstance(child, (Join, Semijoin)):
+                unit = _try_pipeline(child, children, project=node)
+                if unit is not None:
+                    return unit
+            if isinstance(child, Join):
+                return _vcompile_project_join(node, children)
+            if isinstance(child, Semijoin):
+                return _vcompile_project_semijoin(node, children)
+            if isinstance(child, Scan):
+                return _vcompile_project_scan(node, children[0])
+            return _vcompile_project(node, children)
+        raise PlanError(f"unknown plan node {node!r}")  # pragma: no cover
+
+    def _run_uncached(self, unit: _Unit, stats: ExecutionStats):
+        # Flatten the unit tree into a post-order (fn, nargs) program
+        # once per compiled unit, then drive it with a value stack: the
+        # steady-state per-node cost is one indexed loop step instead of
+        # the inherited driver's two stack visits per node.  Iterative
+        # on both passes, so arbitrarily deep plans stay safe.
+        program = unit.program
+        if program is None:
+            program = []
+            stack: list[tuple[_Unit, bool]] = [(unit, False)]
+            while stack:
+                u, expanded = stack.pop()
+                if expanded or not u.children:
+                    program.append((u.fn, len(u.children)))
+                else:
+                    stack.append((u, True))
+                    for child in reversed(u.children):
+                        stack.append((child, False))
+            unit.program = program
+        values: list = []
+        append = values.append
+        pop = values.pop
+        for fn, nargs in program:
+            if nargs == 2:
+                right = pop()
+                append(fn(stats, pop(), right))
+            elif nargs:
+                append(fn(stats, pop()))
+            else:
+                append(fn(stats))
+        return values[0]
+
+    def _compile_scan(self, scan: Scan) -> _Unit:
+        base = self._database.get(scan.relation)
+        first_position, equalities, out_positions = _scan_layout(scan, base)
+        header = scan.columns
+        arity = len(header)
+        key = plan_key(scan)
+        store = base.columnar()
+        use_arrays = _np is not None
+        cols = store.arrays() if use_arrays else store.codes
+        n = store.cardinality
+
+        if not scan.constants and not equalities:
+            # Zero-copy: the scan's batch is the base store's columns
+            # (out_positions is the identity here, as in the row engine);
+            # below the array threshold the row form is materialized once
+            # per compilation instead.
+            if use_arrays and n >= _ARRAY_MIN:
+                payload: Any = cols
+            else:
+                codes = store.codes
+                if not arity:
+                    payload = [()] * n
+                elif arity == 1:
+                    payload = list(zip(codes[0]))
+                else:
+                    payload = list(zip(*codes))
+            batch: Batch = (n, payload)
+            id_trace = (arity,)
+
+            def run_identity(stats: ExecutionStats) -> Batch:
+                stats.record_bulk(0, 0, 0, 1, n, 0, n, arity, 0, id_trace)
+                return batch
+
+            return _Unit(
+                fn=run_identity,
+                children=(),
+                key=key,
+                header=header,
+                source=base,
+                source_columns={
+                    variable: base.columns[position]
+                    for variable, position in first_position.items()
+                },
+                source_positions=dict(first_position),
+                const_batch=batch,
+            )
+
+        # Selections depend only on the (immutable) base relation, so the
+        # whole filtered batch is folded at compile time; a catalog change
+        # bumps the generation and recompiles.
+        if use_arrays:
+            mask = None
+            empty = False
+            for position, value in scan.constants:
+                code = lookup_code(value)
+                if code is None:
+                    # Never-interned constant: cannot occur in any column.
+                    empty = True
+                    break
+                m = cols[position] == code
+                mask = m if mask is None else mask & m
+            if not empty:
+                for left, right in equalities:
+                    m = cols[left] == cols[right]
+                    mask = m if mask is None else mask & m
+            if empty:
+                matched = 0
+                out_cols: tuple = tuple(_NP_EMPTY for _ in out_positions)
+            else:
+                matched = int(mask.sum())
+                out_cols = tuple(cols[p][mask] for p in out_positions)
+            # Kept positions functionally determine the dropped ones, so
+            # the filtered batch is distinct — except at arity 0, where
+            # the output collapses to a single empty tuple.
+            nrows = matched if arity else (1 if matched else 0)
+            payload = (
+                out_cols
+                if matched >= _ARRAY_MIN and arity
+                else _to_rows(out_cols, nrows)
+            )
+        else:
+            sel: list[int] | None = None
+            empty = False
+            for position, value in scan.constants:
+                code = lookup_code(value)
+                if code is None:
+                    # Never-interned constant: cannot occur in any column.
+                    empty = True
+                    break
+                col = cols[position]
+                if sel is None:
+                    sel = [i for i, c in enumerate(col) if c == code]
+                else:
+                    sel = [i for i in sel if col[i] == code]
+            if not empty:
+                for left, right in equalities:
+                    ci, cj = cols[left], cols[right]
+                    if sel is None:
+                        sel = [i for i in range(n) if ci[i] == cj[i]]
+                    else:
+                        sel = [i for i in sel if ci[i] == cj[i]]
+            if empty or sel is None:
+                sel = []
+            matched = len(sel)
+            nrows = matched if arity else (1 if matched else 0)
+            if arity:
+                payload = [
+                    tuple(cols[p][i] for p in out_positions) for i in sel
+                ]
+            else:
+                payload = [()] * nrows
+        batch = (nrows, payload)
+        scan_trace = (arity,)
+
+        def run_scan(stats: ExecutionStats) -> Batch:
+            stats.record_bulk(
+                0, 0, 0, 1, nrows, nrows, nrows, arity, 0, scan_trace
+            )
+            return batch
+
+        return _Unit(
+            fn=run_scan, children=(), key=key, header=header, const_batch=batch
+        )
+
+
+# ----------------------------------------------------------------------
 # Engine registry
 # ----------------------------------------------------------------------
 #: Execution backends selectable via ``--engine``.
 ENGINES: dict[str, type] = {
     "interpreted": Engine,
     "compiled": CompiledEngine,
+    "vectorized": VectorizedEngine,
 }
 
 #: Names accepted by :func:`make_engine` and every ``--engine`` flag.
@@ -874,8 +2778,9 @@ def make_engine(
     """Construct an execution backend by name.
 
     ``join_algorithm`` applies to the interpreted engine only; the
-    compiled backend always uses the hash strategy, so passing any other
-    algorithm with ``name="compiled"`` raises :class:`ValueError`.
+    compiled and vectorized backends always use the hash strategy, so
+    passing any other algorithm with those names raises
+    :class:`ValueError`.
     """
     from repro.relalg.joins import hash_join
 
@@ -885,16 +2790,17 @@ def make_engine(
             join_algorithm=join_algorithm if join_algorithm is not None else hash_join,
             plan_cache_size=plan_cache_size,
         )
-    if name == "compiled":
-        if join_algorithm is not None and join_algorithm is not hash_join:
-            raise ValueError(
-                "the compiled engine always uses the hash-join strategy; "
-                "--join-algorithm applies to the interpreted engine only"
-            )
-        return CompiledEngine(database, plan_cache_size=plan_cache_size)
-    raise ValueError(
-        f"unknown engine {name!r}; expected one of {list(ENGINE_NAMES)}"
-    )
+    engine_cls = ENGINES.get(name)
+    if engine_cls is None:
+        raise ValueError(
+            f"unknown engine {name!r}; expected one of {list(ENGINE_NAMES)}"
+        )
+    if join_algorithm is not None and join_algorithm is not hash_join:
+        raise ValueError(
+            f"the {name} engine always uses the hash-join strategy; "
+            "--join-algorithm applies to the interpreted engine only"
+        )
+    return engine_cls(database, plan_cache_size=plan_cache_size)
 
 
 def compiled_evaluate(
@@ -907,10 +2813,22 @@ def compiled_evaluate(
     return engine.execute_with_stats(plan)
 
 
+def vectorized_evaluate(
+    plan: Plan,
+    database: Database,
+    plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+) -> tuple[Relation, ExecutionStats]:
+    """One-shot convenience for the vectorized columnar backend."""
+    engine = VectorizedEngine(database, plan_cache_size=plan_cache_size)
+    return engine.execute_with_stats(plan)
+
+
 __all__ = [
     "ENGINES",
     "ENGINE_NAMES",
     "CompiledEngine",
+    "VectorizedEngine",
     "compiled_evaluate",
     "make_engine",
+    "vectorized_evaluate",
 ]

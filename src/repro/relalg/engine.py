@@ -289,10 +289,11 @@ def evaluate(
     """One-shot convenience: evaluate ``plan`` on ``database``.
 
     ``engine`` selects the execution backend: ``"interpreted"`` (this
-    module's :class:`Engine`) or ``"compiled"``
-    (:class:`repro.relalg.compiled.CompiledEngine`; requires the default
-    hash join).  Returns the result relation together with its execution
-    statistics.
+    module's :class:`Engine`), ``"compiled"``
+    (:class:`repro.relalg.compiled.CompiledEngine`), or ``"vectorized"``
+    (:class:`repro.relalg.compiled.VectorizedEngine`); the compiled
+    backends require the default hash join.  Returns the result relation
+    together with its execution statistics.
     """
     if engine == "interpreted":
         backend = Engine(

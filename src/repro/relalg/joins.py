@@ -14,23 +14,18 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.relalg.relation import Relation, hash_join_rows
+from repro.relalg.relation import Relation, hash_join_rows, join_layout
 
 JoinAlgorithm = Callable[[Relation, Relation], Relation]
 
 
 def _join_layout(left: Relation, right: Relation):
-    """Shared bookkeeping: join columns, output header, extractors."""
-    shared = tuple(name for name in left.columns if name in right.columns)
-    out_header = left.columns + tuple(
-        name for name in right.columns if name not in shared
-    )
-    left_key = [left.column_index(name) for name in shared]
-    right_key = [right.column_index(name) for name in shared]
-    right_extra = [
-        right.column_index(name) for name in right.columns if name not in shared
-    ]
-    return shared, out_header, left_key, right_key, right_extra
+    """Shared bookkeeping: join columns, output header, extractors.
+
+    Delegates to the memoized :func:`repro.relalg.relation.join_layout`,
+    so repeated joins of the same two schemas pay for the column
+    bookkeeping once."""
+    return join_layout(left.columns, right.columns)
 
 
 def hash_join(left: Relation, right: Relation) -> Relation:

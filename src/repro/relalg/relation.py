@@ -17,11 +17,13 @@ inputs.  Set semantics matches the paper's SQL, which applies
 
 from __future__ import annotations
 
+import sys
 from collections.abc import Iterable, Mapping, Sequence
 from operator import itemgetter
 from typing import Any, Callable
 
 from repro.errors import SchemaError
+from repro.relalg.columnar import ColumnStore
 
 Row = tuple[Any, ...]
 
@@ -46,14 +48,33 @@ def _tuple_getter(positions: Sequence[int]) -> Callable[[Row], Row]:
     return itemgetter(*positions)
 
 
+#: Validated headers, interned: equal headers are the *same* tuple of
+#: interned strings, so schema comparisons, `_index_cache` lookups, and
+#: the join-layout memo stop re-hashing column names on every operation.
+_HEADER_CACHE: dict[tuple[str, ...], tuple[str, ...]] = {}
+
+
+def intern_header(header: tuple[str, ...]) -> tuple[str, ...]:
+    """The canonical (interned) instance of an already-valid header."""
+    cached = _HEADER_CACHE.get(header)
+    if cached is None:
+        cached = tuple(sys.intern(name) for name in header)
+        _HEADER_CACHE[cached] = cached
+    return cached
+
+
 def _check_header(columns: Sequence[str]) -> tuple[str, ...]:
     header = tuple(columns)
+    cached = _HEADER_CACHE.get(header)
+    if cached is not None:
+        # Seen (and validated) before: reuse the interned instance.
+        return cached
     if len(set(header)) != len(header):
         raise SchemaError(f"duplicate column names in header {header!r}")
     for name in header:
         if not isinstance(name, str) or not name:
             raise SchemaError(f"column names must be non-empty strings, got {name!r}")
-    return header
+    return intern_header(header)
 
 
 class Relation:
@@ -76,7 +97,7 @@ class Relation:
     True
     """
 
-    __slots__ = ("_columns", "_rows", "_index_cache", "_hash")
+    __slots__ = ("_columns", "_rows", "_index_cache", "_hash", "_colstore")
 
     def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[Any]] = ()) -> None:
         self._columns = _check_header(columns)
@@ -93,6 +114,7 @@ class Relation:
         self._rows = frozenset(materialized)
         self._index_cache: dict[tuple[str, ...], dict[Any, list[Row]]] = {}
         self._hash: int | None = None
+        self._colstore: ColumnStore | None = None
 
     @classmethod
     def _from_trusted(cls, header: tuple[str, ...], rows: frozenset[Row]) -> "Relation":
@@ -110,6 +132,7 @@ class Relation:
         self._rows = rows
         self._index_cache = {}
         self._hash = None
+        self._colstore = None
         return self
 
     # ------------------------------------------------------------------
@@ -150,6 +173,40 @@ class Relation:
             raise SchemaError(
                 f"unknown column {name!r}; relation has columns {self._columns!r}"
             ) from None
+
+    def columnar(self) -> ColumnStore:
+        """The relation's columnar physical layout, built once.
+
+        Columns are dictionary-encoded against the process-wide value
+        pool (see :mod:`repro.relalg.columnar`); the store, its encoded
+        domains, and its int-array key indexes are all memoized on the
+        relation, so repeated vectorized executions share one encoding.
+        """
+        store = self._colstore
+        if store is None:
+            store = ColumnStore.from_rows(self._rows, len(self._columns))
+            self._colstore = store
+        return store
+
+    def memory_footprint(self) -> dict[str, int]:
+        """Measured bytes of the two physical layouts.
+
+        ``row_layout_bytes`` is the frozenset table plus every row tuple
+        (what the row engines hold); ``columnar_bytes`` is the compact
+        dictionary-encoded store (minimal-width code arrays plus encoded
+        domains).  Distinct value objects are shared by both layouts and
+        counted once in ``value_bytes``.
+        """
+        getsizeof = sys.getsizeof
+        row_bytes = getsizeof(self._rows) + sum(map(getsizeof, self._rows))
+        distinct_values = {value for row in self._rows for value in row}
+        return {
+            "cardinality": len(self._rows),
+            "arity": len(self._columns),
+            "row_layout_bytes": row_bytes,
+            "columnar_bytes": self.columnar().nbytes(),
+            "value_bytes": sum(map(getsizeof, distinct_values)),
+        }
 
     def __contains__(self, row: Sequence[Any]) -> bool:
         return tuple(row) in self._rows
@@ -212,8 +269,19 @@ class Relation:
             return self
         header = _check_header(columns)
         positions = [self.column_index(name) for name in header]
-        new_rows = frozenset(map(_tuple_getter(positions), self._rows))
-        return Relation._from_trusted(header, new_rows)
+        if positions == list(range(len(positions))):
+            # The projected columns are a prefix of the layout: slice
+            # rows at C speed instead of routing through itemgetter.
+            getter: Callable[[Row], Row] = itemgetter(slice(0, len(positions)))
+        else:
+            getter = _tuple_getter(positions)
+        new_rows = frozenset(map(getter, self._rows))
+        result = Relation._from_trusted(header, new_rows)
+        if self._colstore is not None and len(new_rows) == len(self._rows):
+            # No duplicates collapsed: the projection is a pure column
+            # selection, so the columnar layout is shared zero-copy.
+            result._colstore = self._colstore.share(positions)
+        return result
 
     def project_out(self, columns: Iterable[str]) -> "Relation":
         """Project *away* the given columns, keeping all others in order.
@@ -242,7 +310,11 @@ class Relation:
             # Identity rename (every mentioned column maps to itself):
             # the mapping was validated above, so nothing else to check.
             return self
-        return Relation._from_trusted(_check_header(header), self._rows)
+        result = Relation._from_trusted(_check_header(header), self._rows)
+        # Renaming relabels columns without touching data: the columnar
+        # layout (position-keyed, including its indexes) carries over.
+        result._colstore = self._colstore
+        return result
 
     def reorder(self, columns: Sequence[str]) -> "Relation":
         """Return the same relation with columns permuted to ``columns``."""
@@ -256,7 +328,11 @@ class Relation:
             )
         positions = [self.column_index(name) for name in header]
         new_rows = frozenset(map(_tuple_getter(positions), self._rows))
-        return Relation._from_trusted(header, new_rows)
+        result = Relation._from_trusted(header, new_rows)
+        if self._colstore is not None:
+            # A permutation never collapses rows: share columns zero-copy.
+            result._colstore = self._colstore.share(positions)
+        return result
 
     def select(self, predicate: Callable[[Mapping[str, Any]], bool]) -> "Relation":
         """Select rows satisfying ``predicate``, which receives a dict view
@@ -291,6 +367,10 @@ class Relation:
     # ------------------------------------------------------------------
     # Binary operations
     # ------------------------------------------------------------------
+    def _layout_with(self, other: "Relation"):
+        """Memoized join layout against ``other`` (see :func:`join_layout`)."""
+        return join_layout(self._columns, other._columns)
+
     def _key_index(self, key_columns: tuple[str, ...]) -> dict[Any, list[Row]]:
         """Hash index from key-column values to rows, memoized per header.
 
@@ -314,15 +394,7 @@ class Relation:
         With no shared columns this degenerates to a cross product, exactly
         as ``JOIN ... ON (TRUE)`` does in the paper's reordering example.
         """
-        shared = tuple(name for name in self._columns if name in other._columns)
-        out_header = self._columns + tuple(
-            name for name in other._columns if name not in shared
-        )
-        other_extra = [
-            other.column_index(name)
-            for name in other._columns
-            if name not in shared
-        ]
+        shared, out_header, _, _, other_extra = self._layout_with(other)
         if not shared:
             rows = frozenset(
                 left + tuple(right[i] for i in other_extra)
@@ -341,11 +413,11 @@ class Relation:
         notes semijoins are useless for its 3-COLOR queries because
         projecting the ``edge`` relation yields all possible values.
         """
-        shared = tuple(name for name in self._columns if name in other._columns)
+        shared, _, left_key, _, _ = self._layout_with(other)
         if not shared:
             return self if not other.is_empty() else Relation(self._columns)
         other_keys = other._key_index(shared).keys()
-        key_of = _key_getter([self.column_index(name) for name in shared])
+        key_of = _key_getter(left_key)
         kept = frozenset(row for row in self._rows if key_of(row) in other_keys)
         return self._filtered(kept)
 
@@ -410,6 +482,50 @@ class Relation:
         body = "\n".join(" | ".join(str(v) for v in row) for row in body_rows)
         suffix = "" if len(self._rows) <= max_rows else f"\n... ({len(self._rows)} rows total)"
         return f"{header}\n{rule}\n{body}{suffix}"
+
+
+#: Memoized join layouts keyed on the (interned) header pair: every join
+#: of the same two schemas — across operators, executions, and engines —
+#: computes its column bookkeeping once instead of re-hashing column
+#: names per call.
+_LAYOUT_CACHE: dict[tuple[tuple[str, ...], tuple[str, ...]], tuple] = {}
+_LAYOUT_CACHE_LIMIT = 32768
+
+
+def join_layout(
+    left_cols: tuple[str, ...], right_cols: tuple[str, ...]
+) -> tuple[
+    tuple[str, ...], tuple[str, ...], tuple[int, ...], tuple[int, ...], tuple[int, ...]
+]:
+    """Natural-join column bookkeeping for a pair of headers, memoized.
+
+    Returns ``(shared, out_header, left_key, right_key, right_extra)``:
+    the shared column names (in left order), the natural-join output
+    header (interned), the key positions on each side, and the positions
+    of the right operand's non-shared columns.
+    """
+    key = (left_cols, right_cols)
+    cached = _LAYOUT_CACHE.get(key)
+    if cached is None:
+        right_set = set(right_cols)
+        shared = tuple(name for name in left_cols if name in right_set)
+        shared_set = set(shared)
+        out_header = intern_header(
+            left_cols
+            + tuple(name for name in right_cols if name not in shared_set)
+        )
+        left_key = tuple(left_cols.index(name) for name in shared)
+        right_key = tuple(right_cols.index(name) for name in shared)
+        right_extra = tuple(
+            index
+            for index, name in enumerate(right_cols)
+            if name not in shared_set
+        )
+        if len(_LAYOUT_CACHE) >= _LAYOUT_CACHE_LIMIT:
+            _LAYOUT_CACHE.clear()
+        cached = (shared, out_header, left_key, right_key, right_extra)
+        _LAYOUT_CACHE[key] = cached
+    return cached
 
 
 def hash_join_rows(

@@ -85,6 +85,46 @@ class ExecutionStats:
         if live > self.peak_live_tuples:
             self.peak_live_tuples = live
 
+    def record_bulk(
+        self,
+        joins: int,
+        semijoins: int,
+        projections: int,
+        scans: int,
+        total: int,
+        built: int,
+        max_card: int,
+        max_arity: int,
+        peak: int,
+        arities: tuple[int, ...],
+    ) -> None:
+        """Record a batch of operator events with one update.
+
+        Compiled kernels know their whole event sequence at compile time
+        (a fused projection-over-join emits exactly one join and two
+        outputs; a pipeline of *k* absorbed scans and joins emits a fixed
+        interleaving), so instead of one :meth:`record_output` /
+        :meth:`record_join` call per event they fold the batch into
+        aggregate deltas — ``total``/``built`` sums, ``max_card`` /
+        ``max_arity`` / ``peak`` running maxima, and the concatenated
+        ``arities`` trace — and apply them here in a single call.  The
+        resulting counter values are identical to issuing the individual
+        events in order; only the bookkeeping cost changes.
+        """
+        self.joins += joins
+        self.semijoins += semijoins
+        self.projections += projections
+        self.scans += scans
+        self.total_intermediate_tuples += total
+        self.rows_built += built
+        if max_card > self.max_intermediate_cardinality:
+            self.max_intermediate_cardinality = max_card
+        if max_arity > self.max_intermediate_arity:
+            self.max_intermediate_arity = max_arity
+        if peak > self.peak_live_tuples:
+            self.peak_live_tuples = peak
+        self._arity_trace.extend(arities)
+
     @property
     def arity_trace(self) -> list[int]:
         """Arity of each operator output, in evaluation order."""

@@ -30,6 +30,7 @@ from repro.relalg.compiled import (
     ENGINE_NAMES,
     ENGINES,
     CompiledEngine,
+    VectorizedEngine,
     compiled_evaluate,
     make_engine,
 )
@@ -274,19 +275,24 @@ class TestCacheSemantics:
 
 class TestRegistry:
     def test_engine_names(self):
-        assert ENGINE_NAMES == ("compiled", "interpreted")
+        assert ENGINE_NAMES == ("compiled", "interpreted", "vectorized")
         assert set(ENGINES) == set(ENGINE_NAMES)
 
     def test_make_engine_by_name(self, db):
         assert isinstance(make_engine("interpreted", db), Engine)
         assert isinstance(make_engine("compiled", db), CompiledEngine)
+        vectorized = make_engine("vectorized", db)
+        assert isinstance(vectorized, VectorizedEngine)
+        assert isinstance(vectorized, CompiledEngine)
+        assert type(make_engine("compiled", db)) is CompiledEngine
         with pytest.raises(ValueError, match="unknown engine"):
             make_engine("jitted", db)
 
+    @pytest.mark.parametrize("name", ["compiled", "vectorized"])
     @pytest.mark.parametrize("algorithm", [sort_merge_join, nested_loop_join])
-    def test_compiled_rejects_non_hash_join(self, db, algorithm):
+    def test_compiled_rejects_non_hash_join(self, db, name, algorithm):
         with pytest.raises(ValueError, match="hash-join"):
-            make_engine("compiled", db, join_algorithm=algorithm)
+            make_engine(name, db, join_algorithm=algorithm)
 
     def test_evaluate_engine_kwarg(self, db):
         plan = Project(

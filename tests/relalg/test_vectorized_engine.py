@@ -1,0 +1,305 @@
+"""The vectorized columnar execution backend.
+
+The vectorized engine inherits the compiled engine's contract — identical
+relations and identical logical work counters to the interpreted engine,
+``rows_built`` never higher — and adds a physical one of its own: unit
+payloads are dictionary-encoded column batches, and every kernel except
+projection relies on the distinctness invariant (joins of distinct inputs
+are distinct, scans and semijoins preserve distinctness) to skip per-row
+hashing.  This module pins:
+
+- every operator shape on the vectorized kernels (zero-copy scans, fused
+  selections, cross products, filter joins, generic joins on both build
+  sides, semijoins, fused projections, Boolean outputs);
+- encoding round-trips for non-integer and mixed-type values;
+- the statically-empty path for constants that were never interned;
+- ``rows_built`` never above the row-compiled engine's (chain pipeline
+  fusion skips materializations the row lowering still performs, so the
+  vectorized physical counter may only ever be lower);
+- cache replay and catalog-generation invalidation on the batch payloads.
+
+The hypothesis-driven three-way differential lives in
+``tests/test_compiled_differential.py``.
+"""
+
+import random
+
+import pytest
+
+from repro.core.planner import METHODS, plan_query
+from repro.datalog import parse_rule
+from repro.errors import SchemaError
+from repro.plans import Join, Project, Scan, Semijoin
+from repro.relalg.compiled import CompiledEngine, VectorizedEngine
+from repro.relalg.database import Database, edge_database
+from repro.relalg.engine import Engine
+from repro.relalg.relation import Relation
+from repro.relalg.stats import ExecutionStats
+
+LOGICAL = (
+    "joins",
+    "semijoins",
+    "projections",
+    "scans",
+    "total_intermediate_tuples",
+    "max_intermediate_cardinality",
+    "max_intermediate_arity",
+    "peak_live_tuples",
+)
+
+
+@pytest.fixture
+def db():
+    return edge_database()
+
+
+def assert_parity(plan, database, *, cache: bool = False):
+    """Vectorized output and logical stats match the interpreter's;
+    physical rows built never exceed the row-compiled engine's (chain
+    pipeline fusion skips materializations the row lowering performs)."""
+    size = 128 if cache else 0
+    expected, istats = Engine(
+        database, plan_cache_size=size
+    ).execute_with_stats(plan)
+    got, vstats = VectorizedEngine(
+        database, plan_cache_size=size
+    ).execute_with_stats(plan)
+    assert got == expected
+    assert got.columns == expected.columns
+    for counter in LOGICAL:
+        assert getattr(vstats, counter) == getattr(istats, counter), counter
+    assert vstats.arity_trace == istats.arity_trace
+    assert vstats.rows_built <= istats.rows_built
+    _, cstats = CompiledEngine(
+        database, plan_cache_size=size
+    ).execute_with_stats(plan)
+    assert vstats.rows_built <= cstats.rows_built
+    return got
+
+
+class TestOperatorShapes:
+    def test_zero_copy_scan(self, db):
+        result = assert_parity(Scan("edge", ("x", "y")), db)
+        assert result.cardinality == 6
+
+    def test_scan_with_constant(self, db):
+        plan = Scan("edge", ("y",), constants=((0, 1),))
+        result = assert_parity(plan, db)
+        assert result == Relation(("y",), [(2,), (3,)])
+
+    def test_scan_with_repeated_variable(self):
+        db = Database({"r": Relation(("a", "b"), [(1, 1), (1, 2), (3, 3)])})
+        result = assert_parity(Scan("r", ("x", "x")), db)
+        assert result == Relation(("x",), [(1,), (3,)])
+
+    def test_scan_with_never_interned_constant_is_empty(self, db):
+        # "no-such-value" never occurs in any relation, so the compiled
+        # selection vector is statically empty — and looking the constant
+        # up must not grow the global value pool.
+        from repro.relalg.columnar import _interned_pool_size, lookup_code
+
+        plan = Scan("edge", ("y",), constants=((0, "no-such-value"),))
+        db.get("edge").columnar()  # intern the base values up front
+        before = _interned_pool_size()
+        result = assert_parity(plan, db)
+        assert result.cardinality == 0
+        assert lookup_code("no-such-value") is None
+        assert _interned_pool_size() == before
+
+    def test_scan_arity_mismatch_raises_same_error(self, db):
+        plan = Scan("edge", ("x", "y", "z"))
+        with pytest.raises(SchemaError) as vectorized_err:
+            VectorizedEngine(db).execute(plan)
+        with pytest.raises(SchemaError) as interpreted_err:
+            Engine(db).execute(plan)
+        assert str(vectorized_err.value) == str(interpreted_err.value)
+
+    def test_boolean_all_constant_scan(self, db):
+        # Arity-0 scan: many base rows collapse to one empty tuple.
+        plan = Scan("edge", (), constants=((0, 1), (1, 2)))
+        result = assert_parity(plan, db)
+        assert result.arity == 0
+        assert result.cardinality == 1
+
+    def test_cross_product(self, db):
+        plan = Join(Scan("edge", ("a", "b")), Scan("edge", ("c", "d")))
+        assert assert_parity(plan, db).cardinality == 36
+
+    def test_filter_join_no_new_columns(self, db):
+        plan = Join(Scan("edge", ("x", "y")), Scan("edge", ("x", "y")))
+        assert assert_parity(plan, db).cardinality == 6
+
+    def test_generic_hash_join_both_build_sides(self, db):
+        chain = Join(Scan("edge", ("a", "b")), Scan("edge", ("b", "c")))
+        assert_parity(chain, db)
+        skewed = Database(
+            {
+                "small": Relation(("a", "b"), [(1, 2)]),
+                "big": Relation(
+                    ("b", "c"), [(2, i) for i in range(10)] + [(9, 9)]
+                ),
+            }
+        )
+        left_small = Join(Scan("small", ("a", "b")), Scan("big", ("b", "c")))
+        right_small = Join(Scan("big", ("b", "c")), Scan("small", ("a", "b")))
+        assert assert_parity(left_small, skewed).cardinality == 10
+        assert assert_parity(right_small, skewed).cardinality == 10
+
+    def test_multi_column_join_key(self):
+        db = Database(
+            {
+                "r": Relation(("a", "b", "c"), [(1, 2, 3), (1, 3, 4), (2, 2, 5)]),
+                "s": Relation(("a", "b", "d"), [(1, 2, 7), (2, 2, 8), (9, 9, 9)]),
+            }
+        )
+        plan = Join(Scan("r", ("a", "b", "c")), Scan("s", ("a", "b", "d")))
+        assert assert_parity(plan, db).cardinality == 2
+
+    def test_semijoin(self, db):
+        plan = Semijoin(Scan("edge", ("x", "y")), Scan("edge", ("y", "z")))
+        assert_parity(plan, db)
+
+    def test_semijoin_degenerate_no_shared_columns(self, db):
+        plan = Semijoin(Scan("edge", ("x", "y")), Scan("edge", ("u", "v")))
+        assert assert_parity(plan, db).cardinality == 6
+        empty = Database(
+            {"edge": db.get("edge"), "nothing": Relation(("u", "v"))}
+        )
+        gated = Semijoin(Scan("edge", ("x", "y")), Scan("nothing", ("u", "v")))
+        assert assert_parity(gated, empty).cardinality == 0
+
+    def test_fused_project_over_join(self, db):
+        plan = Project(
+            Join(Scan("edge", ("a", "b")), Scan("edge", ("b", "c"))),
+            ("a", "c"),
+        )
+        assert_parity(plan, db)
+
+    def test_fused_project_over_join_left_columns_only(self, db):
+        plan = Project(
+            Join(Scan("edge", ("a", "b")), Scan("edge", ("b", "c"))), ("a",)
+        )
+        assert_parity(plan, db)
+
+    def test_fused_project_over_cross_product(self, db):
+        plan = Project(
+            Join(Scan("edge", ("a", "b")), Scan("edge", ("c", "d"))),
+            ("a", "d"),
+        )
+        assert_parity(plan, db)
+        left_only = Project(
+            Join(Scan("edge", ("a", "b")), Scan("edge", ("c", "d"))), ("a",)
+        )
+        assert_parity(left_only, db)
+
+    def test_fused_project_over_semijoin(self, db):
+        plan = Project(
+            Semijoin(Scan("edge", ("x", "y")), Scan("edge", ("y", "z"))),
+            ("x",),
+        )
+        assert_parity(plan, db)
+
+    def test_boolean_zero_arity_projection(self, db):
+        plan = Project(
+            Join(Scan("edge", ("a", "b")), Scan("edge", ("b", "c"))), ()
+        )
+        result = assert_parity(plan, db)
+        assert result.arity == 0
+        assert result.cardinality == 1
+
+    def test_identity_projection(self, db):
+        assert_parity(Project(Scan("edge", ("x", "y")), ("x", "y")), db)
+
+    def test_reordering_projection(self, db):
+        assert_parity(Project(Scan("edge", ("x", "y")), ("y", "x")), db)
+
+
+class TestEncoding:
+    def test_mixed_value_types_round_trip(self):
+        db = Database(
+            {
+                "r": Relation(
+                    ("a", "b"),
+                    [("x", 1), ("y", 2.5), (("t", 0), None), ("x", "x")],
+                ),
+                "s": Relation(("b", "c"), [(1, "one"), (None, "none")]),
+            }
+        )
+        plan = Join(Scan("r", ("a", "b")), Scan("s", ("b", "c")))
+        assert_parity(plan, db)
+
+    def test_result_carries_columnar_payload(self, db):
+        plan = Project(
+            Join(Scan("edge", ("a", "b")), Scan("edge", ("b", "c"))), ("a",)
+        )
+        result = VectorizedEngine(db).execute(plan)
+        store = result._colstore
+        assert store is not None
+        assert store.cardinality == result.cardinality
+        # The attached store decodes back to exactly the result rows.
+        assert result.columnar() is store
+
+    def test_codes_are_globally_comparable(self, db):
+        # The same value interned through two different relations gets
+        # one code — which is what lets joins compare raw ints.
+        from repro.relalg.columnar import encode_value
+
+        db.get("edge").columnar()
+        other = Relation(("u",), [(1,)])
+        other.columnar()
+        assert encode_value(1) == encode_value(1)
+
+
+class TestPlannedQueries:
+    QUERY = parse_rule("q(A) :- edge(A, B), edge(B, C), edge(C, D).")
+
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("cache", [False, True])
+    def test_every_method_matches_interpreted(self, db, method, cache):
+        plan = plan_query(self.QUERY, method, rng=random.Random(0))
+        assert_parity(plan, db, cache=cache)
+
+    def test_fusion_builds_fewer_rows(self, db):
+        plan = plan_query(self.QUERY, "straightforward", rng=random.Random(0))
+        _, istats = Engine(db, plan_cache_size=0).execute_with_stats(plan)
+        _, vstats = VectorizedEngine(
+            db, plan_cache_size=0
+        ).execute_with_stats(plan)
+        assert vstats.total_intermediate_tuples == istats.total_intermediate_tuples
+        assert vstats.rows_built < istats.rows_built
+
+
+class TestCacheSemantics:
+    QUERY = parse_rule("q(A) :- edge(A, B), edge(B, C), edge(C, D).")
+
+    def test_cache_hits_replay_logical_stats(self, db):
+        plan = plan_query(self.QUERY, "bucket", rng=random.Random(0))
+        _, uncached = VectorizedEngine(
+            db, plan_cache_size=0
+        ).execute_with_stats(plan)
+        engine = VectorizedEngine(db)
+        engine.execute(plan)  # warm
+        result, warm = engine.execute_with_stats(plan)
+        for counter in LOGICAL:
+            assert getattr(warm, counter) == getattr(uncached, counter), counter
+        assert warm.arity_trace == uncached.arity_trace
+        assert warm.cache_hits > 0
+        assert warm.rows_built == 0
+        assert result == Engine(db).execute(plan)
+
+    def test_shared_subtree_hits_once(self, db):
+        scan = Scan("edge", ("a", "b"))
+        stats = ExecutionStats()
+        VectorizedEngine(db).execute(Join(scan, scan), stats=stats)
+        assert stats.cache_hits == 1
+        assert stats.scans == 2  # replayed, matching an uncached run
+
+    def test_generation_invalidates_compiled_batches(self, db):
+        plan = Scan("edge", ("x", "y"))
+        engine = VectorizedEngine(db)
+        assert engine.execute(plan).cardinality == 6
+        db.replace("edge", Relation(("u", "w"), [(10, 20)]))
+        # Scans bind the base relation's column store at compile time, so
+        # this asserts recompilation against the new catalog entry.
+        result = engine.execute(plan)
+        assert result == Relation(("x", "y"), [(10, 20)])

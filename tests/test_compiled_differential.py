@@ -1,11 +1,14 @@
-"""Differential property suite: compiled vs interpreted execution.
+"""Differential property suite: interpreted vs compiled vs vectorized.
 
-The compiled backend's acceptance contract is that it is *observably
-identical* to the interpreted engine on every plan either can run — same
-answer relation, same logical work counters (so the paper's plan-cost
-figures are engine-independent) — while being allowed to materialize
-fewer physical rows (``rows_built``), which is the whole point of
-fusion.  This module hammers that contract from three directions:
+The compiled backends' acceptance contract is that they are *observably
+identical* to the interpreted engine on every plan any of them can run —
+same answer relation, same logical work counters (so the paper's
+plan-cost figures are engine-independent) — while being allowed to
+materialize fewer physical rows (``rows_built``), which is the whole
+point of fusion.  The vectorized columnar engine additionally replaces
+row sets with dictionary-encoded column batches, so this suite is the
+proof that the encoding round-trips exactly.  It hammers the three-way
+contract from three directions:
 
 - random **acyclic queries** (mediator chains/stars/snowflakes) planned
   by all six planning methods, under both cache modes;
@@ -23,7 +26,7 @@ from hypothesis import given, settings
 
 from repro.core import is_acyclic
 from repro.core.planner import METHODS, plan_query
-from repro.relalg.compiled import CompiledEngine
+from repro.relalg.compiled import CompiledEngine, VectorizedEngine
 from repro.relalg.database import edge_database
 from repro.relalg.engine import Engine
 
@@ -42,19 +45,26 @@ LOGICAL = (
     "peak_live_tuples",
 )
 
+COMPILED_ENGINES = (CompiledEngine, VectorizedEngine)
+
 
 def assert_engines_agree(plan, database, cache_size: int = 0) -> None:
     expected, istats = Engine(
         database, plan_cache_size=cache_size
     ).execute_with_stats(plan)
-    got, cstats = CompiledEngine(
-        database, plan_cache_size=cache_size
-    ).execute_with_stats(plan)
-    assert got == expected
-    for counter in LOGICAL:
-        assert getattr(cstats, counter) == getattr(istats, counter), counter
-    assert cstats.arity_trace == istats.arity_trace
-    assert cstats.rows_built <= istats.rows_built
+    for engine_cls in COMPILED_ENGINES:
+        got, cstats = engine_cls(
+            database, plan_cache_size=cache_size
+        ).execute_with_stats(plan)
+        assert got == expected, engine_cls.__name__
+        assert got.columns == expected.columns, engine_cls.__name__
+        for counter in LOGICAL:
+            assert getattr(cstats, counter) == getattr(istats, counter), (
+                engine_cls.__name__,
+                counter,
+            )
+        assert cstats.arity_trace == istats.arity_trace, engine_cls.__name__
+        assert cstats.rows_built <= istats.rows_built, engine_cls.__name__
 
 
 @given(acyclic_instances())
