@@ -1,0 +1,326 @@
+#!/usr/bin/env python
+"""Selective cache retention vs whole-cache drop under an update stream.
+
+This is the artifact driver behind ``BENCH_PR7.json``: the measured case
+for per-relation catalog versioning.  The workload is a multi-tenant
+catalog — ``Q`` independent chain queries over *disjoint* relation sets —
+driven by an interleaved update stream: each round mutates exactly one
+relation (an effective ``insert_rows`` + ``delete_rows`` delta) and then
+re-executes every query.  Under dependency-tracked retention only the
+one query touching the mutated relation recomputes; the other ``Q - 1``
+keep hitting their cached results.  The baseline emulates the
+pre-versioning behaviour by clearing the whole cache after every write,
+so every round cold-starts every query.
+
+Unlike the execution benchmarks this driver *enables* the plan cache —
+warm-cache behaviour under writes is exactly the thing being measured —
+and labels itself accordingly in the methodology block.  Honesty checks
+mirror the shared harness: before any timing, both cache policies run
+the full update stream on every engine and must produce identical answer
+relations and identical logical work counters round for round (retention
+is an optimization only); a divergence aborts the run.
+
+Reported per engine: warm hit rate (cache hits over lookups during the
+timed rounds), median per-round latency for both policies, and the
+round-latency speedup ``median(whole_drop) / median(selective)``.
+
+Usage::
+
+    python benchmarks/bench_pr7_invalidation.py --output BENCH_PR7.json
+    python benchmarks/bench_pr7_invalidation.py --smoke   # CI: verify + 1 round
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+from _harness import LOGICAL_COUNTER_FIELDS, SCHEMA, BenchmarkDivergence
+
+from repro.plans import Project, Scan, left_deep_join
+from repro.relalg.compiled import make_engine
+from repro.relalg.database import Database
+from repro.relalg.relation import Relation
+
+ENGINE_CHOICES = ("interpreted", "compiled", "vectorized")
+
+#: Plan-cache bound: large enough that LRU pressure never interferes
+#: with the retention comparison.
+CACHE_SIZE = 4096
+
+
+def build_workload(queries: int, chain: int, rows: int, domain: int, seed: int):
+    """``queries`` disjoint chain joins in one catalog.
+
+    Query ``q`` scans relations ``q{q}_e0 .. q{q}_e{chain-1}`` (binary,
+    ``rows`` random pairs over ``domain`` values) and projects the chain
+    join onto its first variable.  Returns ``(spec, plans)`` where
+    ``spec`` maps relation name to its row list (so every engine/policy
+    pair can build an identical fresh catalog).
+    """
+    rng = random.Random(seed)
+    spec: dict[str, list[tuple]] = {}
+    plans = []
+    for q in range(queries):
+        scans = []
+        for i in range(chain):
+            name = f"q{q}_e{i}"
+            spec[name] = sorted(
+                {
+                    (rng.randrange(domain), rng.randrange(domain))
+                    for _ in range(rows)
+                }
+            )
+            scans.append(Scan(name, (f"x{i}", f"x{i + 1}")))
+        plans.append(Project(left_deep_join(scans), ("x0",)))
+    return spec, plans
+
+
+def build_mutations(spec, queries: int, chain: int, rounds: int, domain: int):
+    """One deterministic mutation per round: round ``k`` targets query
+    ``k % queries`` and applies an always-effective delta to one of its
+    relations (insert two fresh out-of-domain pairs, delete one original
+    row)."""
+    mutations = []
+    for k in range(rounds):
+        name = f"q{k % queries}_e{k % chain}"
+        fresh = domain + 1 + k  # never interned before, never repeated
+        insert = [(fresh, fresh + 1), (fresh + 1, fresh)]
+        delete = [spec[name][k % len(spec[name])]]
+        mutations.append((name, insert, delete))
+    return mutations
+
+
+def fresh_database(spec) -> Database:
+    db = Database()
+    for name, rows in spec.items():
+        db.add(name, Relation(("a", "b"), rows))
+    return db
+
+
+def drop_everything(engine) -> None:
+    """The pre-versioning mutation response: drop every cached result
+    (and, on the compiled engines, every compiled unit) while keeping
+    the cumulative traffic counters for honest hit-rate reporting."""
+    if hasattr(engine, "clear_compiled"):
+        engine.clear_compiled()
+    else:
+        engine.clear_plan_cache()
+
+
+def run_stream(engine_name, spec, plans, mutations, whole_drop, collect=None):
+    """Execute the full update stream under one cache policy.
+
+    Returns ``(round_seconds, cache_info)`` where the first timed round
+    begins *after* a warmup pass over all queries (caches populated,
+    compiled units built).  When ``collect`` is a list, every round's
+    ``(answers, logical counters)`` are appended for verification.
+    """
+    engine = make_engine(
+        engine_name, fresh_database(spec), plan_cache_size=CACHE_SIZE
+    )
+    database = engine.database
+    for plan in plans:  # warmup: populate caches outside the timed region
+        engine.execute(plan)
+    warmup_info = engine.cache_info()
+    round_seconds: list[float] = []
+    for name, insert, delete in mutations:
+        start = time.perf_counter()
+        database.insert_rows(name, insert)
+        database.delete_rows(name, delete)
+        if whole_drop:
+            drop_everything(engine)
+        outputs = [engine.execute_with_stats(plan) for plan in plans]
+        round_seconds.append(time.perf_counter() - start)
+        if collect is not None:
+            answers = [result.rows for result, _ in outputs]
+            logical = [
+                {
+                    field: getattr(stats, field)
+                    for field in LOGICAL_COUNTER_FIELDS
+                }
+                | {"arity_trace": list(stats.arity_trace)}
+                for _, stats in outputs
+            ]
+            collect.append((answers, logical))
+    # Cache traffic during the timed rounds only (warmup subtracted).
+    end = engine.cache_info()
+    traffic = {
+        "hits": end.hits - warmup_info.hits,
+        "misses": end.misses - warmup_info.misses,
+        "evictions": end.evictions - warmup_info.evictions,
+    }
+    return round_seconds, traffic
+
+
+def verify_policies_agree(engines, spec, plans, mutations) -> None:
+    """Selective retention must be answer- and logical-stats-identical
+    to whole-cache drop on every engine, round for round."""
+    reference = None
+    for engine_name in engines:
+        for whole_drop in (False, True):
+            rounds: list = []
+            run_stream(
+                engine_name, spec, plans, mutations, whole_drop, rounds
+            )
+            label = f"{engine_name}/{'whole_drop' if whole_drop else 'selective'}"
+            if reference is None:
+                reference = rounds
+                reference_label = label
+                continue
+            for k, ((answers, logical), (ref_answers, ref_logical)) in enumerate(
+                zip(rounds, reference)
+            ):
+                if answers != ref_answers:
+                    raise BenchmarkDivergence(
+                        f"round {k}: {label} answers diverge from "
+                        f"{reference_label}"
+                    )
+                if logical != ref_logical:
+                    raise BenchmarkDivergence(
+                        f"round {k}: {label} logical counters diverge "
+                        f"from {reference_label}"
+                    )
+
+
+def bench_engine(engine_name, spec, plans, mutations) -> dict:
+    selective_s, selective_info = run_stream(
+        engine_name, spec, plans, mutations, whole_drop=False
+    )
+    drop_s, drop_info = run_stream(
+        engine_name, spec, plans, mutations, whole_drop=True
+    )
+
+    def policy_entry(seconds, traffic):
+        lookups = traffic["hits"] + traffic["misses"]
+        return {
+            "median_round_s": statistics.median(seconds),
+            "min_round_s": min(seconds),
+            "warm_hit_rate": traffic["hits"] / lookups if lookups else 0.0,
+            "cache_hits": traffic["hits"],
+            "cache_misses": traffic["misses"],
+            "evictions": traffic["evictions"],
+        }
+
+    selective = policy_entry(selective_s, selective_info)
+    whole_drop = policy_entry(drop_s, drop_info)
+    return {
+        "engine": engine_name,
+        "selective": selective,
+        "whole_drop": whole_drop,
+        "speedup": (
+            whole_drop["median_round_s"] / selective["median_round_s"]
+            if selective["median_round_s"]
+            else float("inf")
+        ),
+        "hit_rate_gain": selective["warm_hit_rate"]
+        - whole_drop["warm_hit_rate"],
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark suite: pr7 dependency-tracked invalidation"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="verify policies agree and run a tiny stream (fast, "
+        "CI-friendly, numbers not stable)",
+    )
+    parser.add_argument(
+        "--engine",
+        dest="engines",
+        action="append",
+        choices=ENGINE_CHOICES,
+        help="engine(s) to run; repeatable (default: all three)",
+    )
+    parser.add_argument("--queries", type=int, default=8)
+    parser.add_argument("--chain", type=int, default=3)
+    parser.add_argument("--rows", type=int, default=250)
+    parser.add_argument("--domain", type=int, default=32)
+    parser.add_argument("--rounds", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--output",
+        help="write the JSON document here (default: print to stdout)",
+    )
+    args = parser.parse_args(argv)
+    engines = tuple(args.engines) if args.engines else ENGINE_CHOICES
+    if args.smoke:
+        args.queries, args.rows, args.rounds = 3, 60, 3
+
+    spec, plans = build_workload(
+        args.queries, args.chain, args.rows, args.domain, args.seed
+    )
+    mutations = build_mutations(
+        spec, args.queries, args.chain, args.rounds, args.domain
+    )
+    verify_policies_agree(engines, spec, plans, mutations)
+    print("policies verified identical on all engines", file=sys.stderr)
+
+    results = []
+    for engine_name in engines:
+        entry = bench_engine(engine_name, spec, plans, mutations)
+        results.append(entry)
+        print(
+            f"{engine_name}: hit rate {entry['selective']['warm_hit_rate']:.2f} "
+            f"vs {entry['whole_drop']['warm_hit_rate']:.2f}, "
+            f"round speedup {entry['speedup']:.2f}x",
+            file=sys.stderr,
+        )
+
+    document = {
+        "schema": SCHEMA,
+        "suite": "pr7 selective invalidation vs whole-cache drop",
+        "methodology": {
+            "plan_cache": f"ENABLED (size {CACHE_SIZE}) — warm-cache "
+            "behaviour under writes is the measured quantity",
+            "workload": "disjoint chain queries; each round mutates one "
+            "relation (insert+delete delta) then re-executes every query",
+            "aggregation": "median per-round latency over rounds",
+            "warmup": "one full pass before the first timed round",
+            "speedup": "median(whole_drop round) / median(selective round)",
+            "smoke": args.smoke,
+            "verification": "identical answers and logical counters "
+            "between policies on every engine, checked before timing",
+        },
+        "workload": {
+            "queries": args.queries,
+            "chain_length": args.chain,
+            "rows_per_relation": args.rows,
+            "domain": args.domain,
+            "rounds": args.rounds,
+            "relations": len(spec),
+            "seed": args.seed,
+        },
+        "engines": list(engines),
+        "python": platform.python_version(),
+        "results": results,
+        "summary": {
+            "median_speedup": statistics.median(
+                entry["speedup"] for entry in results
+            ),
+            "min_hit_rate_gain": min(
+                entry["hit_rate_gain"] for entry in results
+            ),
+        },
+    }
+    text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -363,8 +363,9 @@ def plan_key(plan: Plan) -> tuple:
     key is a flat tuple of plain builtins (sub-plans appear as interned
     ids, see :data:`_KEY_IDS`), so it is independent of object identity,
     O(1)-ish to hash and compare however deep the plan is, and safe as a
-    dict key; the engine's common-subexpression cache keys its memo on it
-    (dropping the whole memo when ``database.generation`` changes).
+    dict key; the engines' common-subexpression caches pair it with the
+    plan's dependency version vector (see :func:`dependencies`) to key
+    their memos, evicting only the entries whose base relations mutated.
     Plans are immutable, so the key is memoized on each node, and the
     bottom-up fill is iterative and prunes at cached nodes — keys of
     arbitrarily deep plans build without recursion and without
@@ -385,6 +386,71 @@ def plan_key(plan: Plan) -> tuple:
         for child in children(node):
             stack.append((child, False))
     return plan.__dict__["_plan_key"]
+
+
+#: Hash-consing table for dependency footprints: identical footprints —
+#: overwhelmingly common, since every node of a single-relation plan
+#: depends on the same one name — share one tuple object, so the
+#: engines' per-footprint version-vector memos hit on identity.
+_DEP_SETS: dict[tuple[str, ...], tuple[str, ...]] = {}
+
+
+def _intern_deps(deps: tuple[str, ...]) -> tuple[str, ...]:
+    cached = _DEP_SETS.get(deps)
+    if cached is None:
+        _DEP_SETS[deps] = deps
+        cached = deps
+    return cached
+
+
+def dependencies(plan: Plan) -> tuple[str, ...]:
+    """Base-relation footprint of a plan: the sorted tuple of distinct
+    catalog names its scans reference.
+
+    This is the static dependency set that drives selective cache
+    retention: a cached result for ``plan`` can only be invalidated by
+    mutations of relations in ``dependencies(plan)``, so the engines key
+    cache entries on ``(plan_key(plan), database.version_vector(
+    dependencies(plan)))`` and evict exactly the entries whose
+    footprint intersects the mutated names.
+
+    Like ``columns`` and ``plan_key`` the footprint is immutable, so it
+    is memoized per node and filled iteratively bottom-up with pruning
+    at already-computed subtrees — linear in node count on arbitrarily
+    deep plans.  A parent's footprint is always a superset of each
+    child's, which is what makes dropping every dependent cache entry
+    (rather than chasing ancestors explicitly) a closed eviction rule.
+    """
+    cached = plan.__dict__.get("_dependencies")
+    if cached is not None:
+        return cached
+    stack: list[tuple[Plan, bool]] = [(plan, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            if isinstance(node, Scan):
+                deps = _intern_deps((node.relation,))
+            else:
+                child_deps = [
+                    child.__dict__["_dependencies"]
+                    for child in children(node)
+                ]
+                deps = child_deps[0]
+                for other in child_deps[1:]:
+                    if other is not deps and other != deps:
+                        merged: set[str] = set()
+                        for part in child_deps:
+                            merged.update(part)
+                        deps = _intern_deps(tuple(sorted(merged)))
+                        break
+            node.__dict__["_dependencies"] = deps
+            continue
+        if "_dependencies" in node.__dict__:
+            continue
+        stack.append((node, True))
+        for child in children(node):
+            stack.append((child, False))
+    return plan.__dict__["_dependencies"]
 
 
 def plan_width(plan: Plan) -> int:

@@ -15,10 +15,15 @@ Public surface:
   — the same compilation over dictionary-encoded column batches
   (:mod:`repro.relalg.columnar`); :func:`~repro.relalg.compiled.make_engine`
   constructs any backend by name.
+- :class:`~repro.relalg.cache.CacheInfo` — the uniform record every
+  engine's ``cache_info()`` returns; mutating a relation through the
+  catalog's delta APIs evicts exactly the cached results that depend on
+  it (see :mod:`repro.relalg.cache`).
 """
 
 from repro.relalg.bag_engine import BagEngine, bag_evaluate
-from repro.relalg.columnar import ColumnStore
+from repro.relalg.cache import CacheInfo
+from repro.relalg.columnar import ColumnStore, clear_interning, interning_info
 from repro.relalg.compiled import (
     ENGINE_NAMES,
     ENGINES,
@@ -55,6 +60,9 @@ __all__ = [
     "CompiledEngine",
     "VectorizedEngine",
     "ColumnStore",
+    "CacheInfo",
+    "clear_interning",
+    "interning_info",
     "ENGINES",
     "ENGINE_NAMES",
     "make_engine",

@@ -1,0 +1,246 @@
+"""Dependency-tracked cache retention shared by every execution backend.
+
+Before this module, each engine kept its own LRU memo keyed on
+``plan_key`` and dropped the *whole* memo whenever the catalog's global
+generation counter moved — correct, but fatal under a sustained update
+stream, where every write cold-started every query.  The machinery here
+replaces that with relation-granular retention, built from three pieces:
+
+- :class:`DependencyCache` — an LRU memo whose keys are
+  ``(plan_key, dependency-version-vector)`` pairs and whose entries are
+  reverse-indexed by the base relations they depend on, so the entries
+  invalidated by a mutation of relation *R* can be evicted selectively
+  (everything else is retained and keeps hitting).
+- :class:`CatalogVersionTracker` — the engine-side observer of a
+  :class:`~repro.relalg.database.Database`'s per-relation version
+  counters: a cheap clock probe detects that *something* changed, a
+  snapshot diff names exactly *which* relations did, and a per-footprint
+  memo serves the version vectors that complete cache keys.
+- :class:`CacheInfo` — the uniform introspection record every engine's
+  ``cache_info()`` returns.
+
+The correctness argument has two independent layers.  First, version
+vectors are part of the key: an entry produced under old versions can
+never be *served* after a dependency mutated, because the lookup key's
+vector differs — even if the entry were still present.  Second, the
+reverse index makes eviction prompt: engines call
+:meth:`CatalogVersionTracker.changed_relations` once per execution and
+feed the changed names to :meth:`DependencyCache.evict_dependents`, so
+stale entries do not linger and squeeze live ones out of the LRU bound.
+Because a plan node's dependency footprint always contains its
+children's footprints (see :func:`repro.plans.dependencies`), evicting
+every entry whose footprint intersects the mutated names is closed
+under ancestors — no stale parent can survive the eviction of its
+inputs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterable, NamedTuple
+
+
+class CacheInfo(NamedTuple):
+    """Uniform cache introspection record (``engine.cache_info()``).
+
+    ``hits``/``misses``/``evictions`` are cumulative since construction
+    or the last ``clear_cache()``; ``entries`` is the retained-entry
+    count right now; ``capacity`` the LRU bound (0 = caching disabled);
+    ``units`` the number of retained compiled units (always 0 for the
+    interpreted engine, which compiles nothing).
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    capacity: int
+    units: int = 0
+
+
+class DependencyCache:
+    """LRU memo with per-relation reverse indexing for selective eviction.
+
+    Keys are ``(plan_key, version_vector)`` pairs (opaque to this class —
+    any hashable works); every entry additionally records the tuple of
+    base-relation names it depends on, maintained in a reverse index so
+    :meth:`evict_dependents` can drop exactly the entries touching a
+    mutated relation without scanning the whole memo.
+
+    ``capacity`` bounds the entry count (LRU eviction); ``None`` means
+    unbounded, which the compiled engines use for their unit stores
+    (compiled code is small and always worth retaining until its data
+    changes).
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries", "_by_dep")
+
+    def __init__(self, capacity: int | None) -> None:
+        if capacity is not None and capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: key -> (value, deps)
+        self._entries: OrderedDict[Any, tuple[Any, tuple[str, ...]]] = (
+            OrderedDict()
+        )
+        #: relation name -> keys of entries depending on it
+        self._by_dep: dict[str, set] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Any) -> Any | None:
+        """The cached value for ``key`` (refreshed in LRU order), or
+        ``None`` — counting the lookup as a hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[0]
+
+    def peek(self, key: Any) -> Any | None:
+        """Like :meth:`get` but without counting or LRU refresh (used by
+        compilation lookups, which are not cache traffic)."""
+        entry = self._entries.get(key)
+        return None if entry is None else entry[0]
+
+    def put(self, key: Any, value: Any, deps: tuple[str, ...]) -> None:
+        """Insert (or overwrite) an entry depending on ``deps``."""
+        existing = self._entries.get(key)
+        if existing is not None:
+            # Same key => same plan and same version vector, so the
+            # dependency index is already correct; refresh in place.
+            self._entries[key] = (value, existing[1])
+            self._entries.move_to_end(key)
+            return
+        self._entries[key] = (value, deps)
+        by_dep = self._by_dep
+        for name in deps:
+            bucket = by_dep.get(name)
+            if bucket is None:
+                by_dep[name] = {key}
+            else:
+                bucket.add(key)
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            old_key, (_, old_deps) = self._entries.popitem(last=False)
+            self._unindex(old_key, old_deps)
+            self.evictions += 1
+
+    def replace_value(self, key: Any, value: Any) -> None:
+        """Swap an existing entry's value without touching its indexing
+        or LRU position; no-op when ``key`` is absent.  Used for the
+        frozen-rows upgrade of a just-returned root result."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries[key] = (value, entry[1])
+
+    def _unindex(self, key: Any, deps: tuple[str, ...]) -> None:
+        by_dep = self._by_dep
+        for name in deps:
+            bucket = by_dep.get(name)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del by_dep[name]
+
+    def evict_dependents(self, names: Iterable[str]) -> int:
+        """Drop every entry whose dependency footprint intersects
+        ``names``; return how many were dropped."""
+        entries = self._entries
+        dropped = 0
+        for name in names:
+            keys = self._by_dep.pop(name, None)
+            if not keys:
+                continue
+            for key in keys:
+                entry = entries.pop(key, None)
+                if entry is None:
+                    continue  # already dropped via another changed dep
+                dropped += 1
+                for dep in entry[1]:
+                    if dep != name:
+                        bucket = self._by_dep.get(dep)
+                        if bucket is not None:
+                            bucket.discard(key)
+                            if not bucket:
+                                del self._by_dep[dep]
+        self.evictions += dropped
+        return dropped
+
+    def clear(self) -> int:
+        """Drop every entry (counters are kept); return how many."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._by_dep.clear()
+        self.evictions += dropped
+        return dropped
+
+    def reset(self) -> None:
+        """Drop every entry and zero the traffic counters."""
+        self._entries.clear()
+        self._by_dep.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class CatalogVersionTracker:
+    """Engine-side observer of a catalog's per-relation versions.
+
+    Holds the version snapshot the engine's caches were last synced to.
+    :meth:`changed_relations` is the once-per-execution probe: O(1) when
+    nothing mutated (a clock comparison — the overwhelmingly common
+    case on a read-heavy engine), and a snapshot diff naming exactly the
+    mutated relations otherwise.  :meth:`vector` serves the dependency
+    version vectors that complete cache keys, memoized per footprint
+    tuple — footprints are hash-consed in :mod:`repro.plans`, so every
+    node of a single-relation plan shares one memo slot — and computed
+    from the synced snapshot, so all keys built during one execution
+    describe one consistent catalog state.
+    """
+
+    __slots__ = ("_database", "_seen_clock", "_seen", "_vectors")
+
+    def __init__(self, database) -> None:
+        self._database = database
+        self._seen_clock = database.generation
+        self._seen: dict[str, int] = database.versions()
+        self._vectors: dict[tuple[str, ...], tuple[int, ...]] = {}
+
+    def changed_relations(self) -> set[str] | None:
+        """``None`` when the catalog is unchanged since the last call;
+        otherwise the set of relation names whose version moved (the
+        tracker resyncs to the new state as a side effect)."""
+        database = self._database
+        clock = database.generation
+        if clock == self._seen_clock:
+            return None
+        current = database.versions()
+        seen = self._seen
+        changed = {
+            name
+            for name, version in current.items()
+            if seen.get(name) != version
+        }
+        changed.update(name for name in seen if name not in current)
+        self._seen = current
+        self._seen_clock = clock
+        self._vectors.clear()
+        return changed
+
+    def vector(self, deps: tuple[str, ...]) -> tuple[int, ...]:
+        """The synced version vector for a dependency footprint."""
+        vector = self._vectors.get(deps)
+        if vector is None:
+            get = self._seen.get
+            vector = tuple(get(name, 0) for name in deps)
+            self._vectors[deps] = vector
+        return vector
+
+
+__all__ = ["CacheInfo", "CatalogVersionTracker", "DependencyCache"]

@@ -45,13 +45,27 @@ try:  # numpy is optional: the vectorized kernels fall back to lists
 except ImportError:  # pragma: no cover - exercised only without numpy
     _np = None
 
-__all__ = ["ColumnStore", "decode_column", "encode_value", "lookup_code"]
+__all__ = [
+    "ColumnStore",
+    "clear_interning",
+    "decode_column",
+    "encode_value",
+    "interning_info",
+    "lookup_code",
+    "pool_epoch",
+]
 
 # ----------------------------------------------------------------------
 # Global value dictionary (append-only, process-wide)
 # ----------------------------------------------------------------------
+# The pool grows monotonically within an *epoch*; `clear_interning()`
+# starts a new epoch, which invalidates every code handed out so far.
+# ColumnStores stamp the epoch they were built under, so consumers
+# (Relation.columnar(), the compiled engines) can detect and rebuild
+# stale stores instead of comparing codes across incompatible pools.
 _CODES: dict[Any, int] = {}
 _VALUES: list[Any] = []
+_POOL_EPOCH = 0
 
 
 def encode_value(value: Any) -> int:
@@ -84,6 +98,41 @@ def _interned_pool_size() -> int:
     return len(_VALUES)
 
 
+def pool_epoch() -> int:
+    """Current interning epoch (bumped by :func:`clear_interning`).
+
+    Codes are only comparable within one epoch; any structure that bakes
+    codes (a :class:`ColumnStore`, a compiled vectorized unit) must be
+    discarded when the epoch it was built under is no longer current.
+    """
+    return _POOL_EPOCH
+
+
+def clear_interning() -> None:
+    """Release the process-wide interning tables and start a new epoch.
+
+    The dictionary is append-only by design — steady-state workloads
+    reuse a stable value universe, so unbounded growth is not a leak —
+    but long-lived processes that churn through many disjoint value
+    domains (e.g. a driver streaming unrelated datasets) can use this
+    hook to return the memory.  Every code handed out before the call
+    becomes invalid: stores stamped with an older :func:`pool_epoch`
+    are rebuilt on next use (:meth:`repro.relalg.relation.Relation.columnar`),
+    and the compiled engines drop all vectorized units wholesale on
+    their next execution.
+    """
+    global _POOL_EPOCH
+    _CODES.clear()
+    _VALUES.clear()
+    _POOL_EPOCH += 1
+
+
+def interning_info() -> dict[str, int]:
+    """Footprint snapshot of the interning pool: distinct values
+    currently interned and the current epoch."""
+    return {"values": len(_VALUES), "epoch": _POOL_EPOCH}
+
+
 # ----------------------------------------------------------------------
 # Column stores
 # ----------------------------------------------------------------------
@@ -105,13 +154,30 @@ class ColumnStore:
     the same length (the cardinality) and row positions are aligned
     across columns.  Stores are immutable once built: derived stores
     (:meth:`share`) alias the same code lists rather than copying them.
+
+    Every store is stamped with the interning :func:`pool_epoch` it was
+    built under; codes from stores with different epochs are not
+    comparable, and consumers rebuild stale-epoch stores on use.
     """
 
-    __slots__ = ("codes", "cardinality", "_key_indexes", "_domains", "_arrays")
+    __slots__ = (
+        "codes",
+        "cardinality",
+        "pool_epoch",
+        "_key_indexes",
+        "_domains",
+        "_arrays",
+    )
 
-    def __init__(self, codes: tuple[list[int], ...], cardinality: int) -> None:
+    def __init__(
+        self,
+        codes: tuple[list[int], ...],
+        cardinality: int,
+        epoch: int | None = None,
+    ) -> None:
         self.codes = codes
         self.cardinality = cardinality
+        self.pool_epoch = _POOL_EPOCH if epoch is None else epoch
         #: positions-tuple -> (spans dict, row-id array); see key_index().
         self._key_indexes: dict[tuple[int, ...], tuple[dict, array]] = {}
         self._domains: dict[int, array] = {}
@@ -142,7 +208,9 @@ class ColumnStore:
         already-columnar relation free.
         """
         return ColumnStore(
-            tuple(self.codes[p] for p in positions), self.cardinality
+            tuple(self.codes[p] for p in positions),
+            self.cardinality,
+            epoch=self.pool_epoch,
         )
 
     def domain(self, position: int) -> array:

@@ -50,8 +50,9 @@ engine caches at *unit* granularity (a fused Project-over-Join is one
 entry), the interpreter at node granularity.
 
 The common-subexpression cache mirrors the interpreted engine's: an LRU
-memo keyed on :func:`repro.plans.plan_key`, dropped wholesale when
-``database.generation`` changes, with per-entry stats snapshots replayed
+memo keyed on ``(plan_key, dependency-version-vector)`` pairs, with
+entries evicted selectively when the relations they depend on mutate
+(see :mod:`repro.relalg.cache`) and per-entry stats snapshots replayed
 on hits so the logical counters stay cache-state independent.
 
 Both the compiler and the execution driver are iterative (explicit
@@ -69,14 +70,20 @@ invariant.
 
 from __future__ import annotations
 
-from collections import Counter, OrderedDict
+from collections import Counter
 from dataclasses import dataclass, field
 from operator import itemgetter
 from typing import Any, Callable, Sequence
 
 from repro.errors import PlanError, SchemaError
-from repro.plans import Join, Plan, Project, Scan, Semijoin, plan_key
-from repro.relalg.columnar import ColumnStore, decode_column, lookup_code
+from repro.plans import Join, Plan, Project, Scan, Semijoin, dependencies, plan_key
+from repro.relalg.cache import CacheInfo, CatalogVersionTracker, DependencyCache
+from repro.relalg.columnar import (
+    ColumnStore,
+    decode_column,
+    lookup_code,
+    pool_epoch,
+)
 from repro.relalg.database import Database
 from repro.relalg.engine import DEFAULT_PLAN_CACHE_SIZE, Engine
 from repro.relalg.relation import Relation, intern_header, join_layout
@@ -176,6 +183,12 @@ class _Unit:
     #: sides — the hook that lets a parent operator fuse the chain into
     #: one generated kernel.
     pipe: Any = None
+    #: Base-relation footprint of the group's root plan node
+    #: (:func:`repro.plans.dependencies`), stamped at compile time: the
+    #: unit (whose scan closures bind base data) and any cached result
+    #: it produced are invalidated exactly when one of these relations
+    #: mutates.
+    deps: tuple[str, ...] = ()
 
 
 class CompiledEngine:
@@ -186,14 +199,17 @@ class CompiledEngine:
     ----------
     database:
         Catalog of base relations.  Scans bind their base relation at
-        compile time; any catalog mutation (``database.generation``)
-        invalidates every compiled plan and cached result.
+        compile time; a catalog mutation selectively invalidates the
+        compiled units and cached results whose dependency footprint
+        (:func:`repro.plans.dependencies`) includes a mutated relation
+        — everything else is retained across writes.
     plan_cache_size:
         Capacity of the common-subexpression result cache, with the same
-        semantics as the interpreted engine's (LRU on ``plan_key``,
-        whole-cache invalidation on generation change, logical stats
-        replayed from per-entry snapshots on hits).  Pass ``0`` to
-        disable result caching; compiled *code* is always reused.
+        semantics as the interpreted engine's (LRU on
+        ``(plan_key, dependency-version-vector)``, selective eviction on
+        version change, logical stats replayed from per-entry snapshots
+        on hits).  Pass ``0`` to disable result caching; compiled *code*
+        is always reused until its base relations mutate.
 
     The join strategy is always hash-based (the paper's forced choice);
     there is no ``join_algorithm`` parameter.
@@ -217,9 +233,12 @@ class CompiledEngine:
             raise ValueError(f"plan_cache_size must be >= 0, got {plan_cache_size}")
         self._database = database
         self._cache_size = plan_cache_size
-        self._cache: OrderedDict[tuple, tuple[Rows, ExecutionStats]] = OrderedDict()
-        self._units: dict[tuple, _Unit] = {}
-        self._generation = database.generation
+        self._cache = DependencyCache(plan_cache_size)
+        # Unbounded: compiled code is cheap to retain and is evicted
+        # precisely when one of its base relations mutates.
+        self._units = DependencyCache(None)
+        self._tracker = CatalogVersionTracker(database)
+        self._pool_epoch = pool_epoch()
 
     @property
     def database(self) -> Database:
@@ -241,22 +260,42 @@ class CompiledEngine:
         self._units.clear()
         self._cache.clear()
 
+    def cache_info(self) -> CacheInfo:
+        """Cumulative result-cache traffic and current retention;
+        ``units`` is the number of retained compiled units."""
+        cache = self._cache
+        return CacheInfo(
+            hits=cache.hits,
+            misses=cache.misses,
+            evictions=cache.evictions,
+            entries=len(cache),
+            capacity=self._cache_size,
+            units=len(self._units),
+        )
+
+    def clear_cache(self) -> None:
+        """Drop every cached result and compiled unit; zero the traffic
+        counters."""
+        self._units.reset()
+        self._cache.reset()
+
     def execute(self, plan: Plan, stats: ExecutionStats | None = None) -> Relation:
         """Compile (or reuse) and evaluate ``plan``.
 
         If ``stats`` is provided, work counters are accumulated into it.
         """
         stats = stats if stats is not None else ExecutionStats()
-        self._check_generation()
+        self._sync_catalog()
         unit = self._compile(plan)
         rows = self._run(unit, stats)
         if not isinstance(rows, frozenset):
             rows = frozenset(rows)
-            entry = self._cache.get(unit.key)
+            # Upgrade the cached root rows in place so a warm repeat
+            # returns without re-freezing.
+            key = (unit.key, self._tracker.vector(unit.deps))
+            entry = self._cache.peek(key)
             if entry is not None:
-                # Upgrade the cached root rows in place so a warm repeat
-                # returns without re-freezing.
-                self._cache[unit.key] = (rows, entry[1])
+                self._cache.replace_value(key, (rows, entry[1]))
         return Relation._from_trusted(unit.header, rows)
 
     def execute_with_stats(self, plan: Plan) -> tuple[Relation, ExecutionStats]:
@@ -268,12 +307,25 @@ class CompiledEngine:
     # ------------------------------------------------------------------
     # Execution drivers (iterative, mirroring Engine._eval_*)
     # ------------------------------------------------------------------
-    def _check_generation(self) -> None:
-        generation = self._database.generation
-        if generation != self._generation:
+    def _sync_catalog(self) -> None:
+        """Selectively evict compiled units and cached results whose
+        dependency footprint includes a relation mutated since the last
+        execution.  Units bind base data at compile time (scan closures
+        over rows, vectorized constant batches), so a unit is exactly as
+        stale as its footprint; everything whose footprint avoids the
+        mutated relations is retained — code and results both survive
+        unrelated writes.  A change of the columnar interning pool epoch
+        (:func:`repro.relalg.columnar.clear_interning`) invalidates every
+        code-based artifact at once, so it drops both stores wholesale.
+        """
+        if self._pool_epoch != pool_epoch():
             self._units.clear()
             self._cache.clear()
-            self._generation = generation
+            self._pool_epoch = pool_epoch()
+        changed = self._tracker.changed_relations()
+        if changed:
+            self._units.evict_dependents(changed)
+            self._cache.evict_dependents(changed)
 
     def _run(self, unit: _Unit, stats: ExecutionStats) -> Rows:
         if not self._cache_size:
@@ -311,16 +363,17 @@ class CompiledEngine:
                 _Unit,
                 list[Rows],
                 ExecutionStats,
-                tuple[ExecutionStats, list[Rows]] | None,
+                tuple[tuple, ExecutionStats, list[Rows]] | None,
             ]
         ] = [(unit, root, stats, None)]
         cache = self._cache
+        tracker = self._tracker
         while stack:
             u, dest, sink, pending = stack.pop()
             if pending is None:
-                entry = cache.get(u.key)
+                key = (u.key, tracker.vector(u.deps))
+                entry = cache.get(key)
                 if entry is not None:
-                    cache.move_to_end(u.key)
                     rows, snapshot = entry
                     sink.cache_hits += 1
                     sink.merge(snapshot)
@@ -329,19 +382,17 @@ class CompiledEngine:
                 sink.cache_misses += 1
                 subtree = ExecutionStats()
                 inputs: list[Rows] = []
-                stack.append((u, dest, sink, (subtree, inputs)))
+                stack.append((u, dest, sink, (key, subtree, inputs)))
                 for child in reversed(u.children):
                     stack.append((child, inputs, subtree, None))
             else:
-                subtree, inputs = pending
+                key, subtree, inputs = pending
                 rows = u.fn(subtree, *inputs)
                 sink.merge(subtree)
                 subtree.rows_built = 0
                 subtree.cache_hits = 0
                 subtree.cache_misses = 0
-                cache[u.key] = (rows, subtree)
-                if len(cache) > self._cache_size:
-                    cache.popitem(last=False)
+                cache.put(key, (rows, subtree), u.deps)
                 dest.append(rows)
         return root[0]
 
@@ -349,16 +400,18 @@ class CompiledEngine:
     # Compilation (iterative, bottom-up over the fused unit tree)
     # ------------------------------------------------------------------
     def _compile(self, plan: Plan) -> _Unit:
+        # Unit lookups go through ``peek``: reusing compiled code is not
+        # result-cache traffic, so it must not skew hit/miss counters.
         units = self._units
         key = plan_key(plan)
-        cached = units.get(key)
+        cached = units.peek(key)
         if cached is not None:
             return cached
         work: list[tuple[Plan, bool]] = [(plan, False)]
         while work:
             node, expanded = work.pop()
             node_key = plan_key(node)
-            if node_key in units:
+            if units.peek(node_key) is not None:
                 continue
             kids = _unit_children(node)
             if not expanded:
@@ -366,10 +419,12 @@ class CompiledEngine:
                 for child in reversed(kids):
                     work.append((child, False))
             else:
-                units[node_key] = self._build_unit(
-                    node, tuple(units[plan_key(child)] for child in kids)
+                unit = self._build_unit(
+                    node, tuple(units.peek(plan_key(child)) for child in kids)
                 )
-        return units[key]
+                unit.deps = dependencies(node)
+                units.put(node_key, unit, unit.deps)
+        return units.peek(key)
 
     def _build_unit(self, node: Plan, children: tuple[_Unit, ...]) -> _Unit:
         if isinstance(node, Scan):
@@ -917,8 +972,9 @@ def _compile_project(node: Project, children: tuple[_Unit, ...]) -> _Unit:
 # whose right operand is a scan prebuilds its hash index (row path) or
 # its sorted key array (array path) during compilation, so the
 # steady-state cost of those joins is the probe loop alone.  A catalog
-# mutation bumps ``database.generation``, which drops every compiled
-# unit and its folded batches.
+# mutation bumps the mutated relation's version, which evicts exactly
+# the compiled units (and folded batches) whose dependency footprint
+# includes it; units over untouched relations survive.
 #
 # The load-bearing invariant: **every unit's output batch is distinct.**
 # Base relations are sets; a filtered scan's dropped positions
@@ -2564,7 +2620,7 @@ class VectorizedEngine(CompiledEngine):
     def execute(self, plan: Plan, stats: ExecutionStats | None = None) -> Relation:
         """Compile (or reuse) and evaluate ``plan`` over column batches."""
         stats = stats if stats is not None else ExecutionStats()
-        self._check_generation()
+        self._sync_catalog()
         unit = self._compile(plan)
         return _decode_batch(unit.header, self._run(unit, stats))
 
@@ -2678,8 +2734,8 @@ class VectorizedEngine(CompiledEngine):
             )
 
         # Selections depend only on the (immutable) base relation, so the
-        # whole filtered batch is folded at compile time; a catalog change
-        # bumps the generation and recompiles.
+        # whole filtered batch is folded at compile time; mutating the
+        # relation bumps its version, which evicts the unit and recompiles.
         if use_arrays:
             mask = None
             empty = False

@@ -9,10 +9,18 @@ choice), and records the work counters that drive wall-clock cost.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-
 from repro.errors import PlanError, SchemaError
-from repro.plans import Join, Plan, Project, Scan, Semijoin, children, plan_key
+from repro.plans import (
+    Join,
+    Plan,
+    Project,
+    Scan,
+    Semijoin,
+    children,
+    dependencies,
+    plan_key,
+)
+from repro.relalg.cache import CacheInfo, CatalogVersionTracker, DependencyCache
 from repro.relalg.database import Database
 from repro.relalg.joins import JoinAlgorithm, hash_join
 from repro.relalg.relation import Relation
@@ -33,17 +41,21 @@ class Engine:
         Binary join implementation; defaults to hash join.
     plan_cache_size:
         Capacity of the common-subexpression cache: an LRU memo from
-        ``plan_key(subtree)`` to the subtree's result relation, shared
-        across every :meth:`execute` call on this engine.  Structurally
-        identical subtrees — within one plan or across repeated
-        executions — are evaluated once; any catalog mutation (observed
-        via ``database.generation``) drops the whole cache, so stale
-        results are never served *or* pinned.  Each entry also carries a
-        snapshot of the stats its subtree accumulated when first
-        evaluated, replayed on every hit: the logical work counters in
-        :class:`ExecutionStats` are identical whether or not the cache
-        is warm, and only ``rows_built`` (plus the hit/miss counters)
-        reflects cache state.  Pass ``0`` to disable caching entirely.
+        ``(plan_key(subtree), dependency-version-vector)`` to the
+        subtree's result relation, shared across every :meth:`execute`
+        call on this engine.  Structurally identical subtrees — within
+        one plan or across repeated executions — are evaluated once.
+        Invalidation is *selective*: each entry records the base
+        relations its subtree scans (:func:`repro.plans.dependencies`)
+        and the catalog's per-relation versions complete the key, so a
+        catalog mutation evicts exactly the entries depending on the
+        mutated relations and every other entry is retained and keeps
+        hitting.  Each entry also carries a snapshot of the stats its
+        subtree accumulated when first evaluated, replayed on every
+        hit: the logical work counters in :class:`ExecutionStats` are
+        identical whether or not the cache is warm, and only
+        ``rows_built`` (plus the hit/miss counters) reflects cache
+        state.  Pass ``0`` to disable caching entirely.
 
     Examples
     --------
@@ -66,8 +78,8 @@ class Engine:
         self._database = database
         self._join = join_algorithm
         self._cache_size = plan_cache_size
-        self._cache: OrderedDict[tuple, tuple[Relation, ExecutionStats]] = OrderedDict()
-        self._cache_generation = database.generation
+        self._cache = DependencyCache(plan_cache_size)
+        self._tracker = CatalogVersionTracker(database)
 
     @property
     def database(self) -> Database:
@@ -83,31 +95,51 @@ class Engine:
         """Drop every cached subtree result."""
         self._cache.clear()
 
+    def cache_info(self) -> CacheInfo:
+        """Cumulative cache traffic and current retention (uniform
+        across all engines; the interpreted engine has no compiled
+        units, so ``units`` is always 0)."""
+        cache = self._cache
+        return CacheInfo(
+            hits=cache.hits,
+            misses=cache.misses,
+            evictions=cache.evictions,
+            entries=len(cache),
+            capacity=self._cache_size,
+            units=0,
+        )
+
+    def clear_cache(self) -> None:
+        """Drop every cached entry and zero the traffic counters."""
+        self._cache.reset()
+
     def execute(self, plan: Plan, stats: ExecutionStats | None = None) -> Relation:
         """Evaluate ``plan`` and return the result relation.
 
         If ``stats`` is provided, work counters are accumulated into it.
         """
         stats = stats if stats is not None else ExecutionStats()
-        self._check_generation()
+        self._sync_catalog()
         return self._eval(plan, stats)
 
     def execute_with_stats(self, plan: Plan) -> tuple[Relation, ExecutionStats]:
         """Evaluate ``plan``; return both the result and fresh stats."""
         stats = ExecutionStats()
-        self._check_generation()
+        self._sync_catalog()
         result = self._eval(plan, stats)
         return result, stats
 
     # ------------------------------------------------------------------
-    def _check_generation(self) -> None:
-        """Drop the whole cache when the catalog has mutated since the
-        last execution, so stale entries are neither served nor pinned
-        awaiting LRU eviction."""
-        generation = self._database.generation
-        if generation != self._cache_generation:
-            self._cache.clear()
-            self._cache_generation = generation
+    def _sync_catalog(self) -> None:
+        """Selectively evict entries invalidated by catalog mutations
+        since the last execution.  Entries whose dependency footprint
+        avoids every mutated relation are retained (and keep hitting);
+        stale entries are evicted promptly rather than lingering until
+        LRU pressure — and could not be served even if they lingered,
+        because version vectors are part of the cache key."""
+        changed = self._tracker.changed_relations()
+        if changed:
+            self._cache.evict_dependents(changed)
 
     def _eval(self, plan: Plan, stats: ExecutionStats) -> Relation:
         # Both paths are iterative (explicit stacks, post-order): plans
@@ -140,23 +172,26 @@ class Engine:
         # Frames are (node, destination, sink, pending): ``sink`` is the
         # stats object this node's work lands in (the enclosing subtree's
         # accumulator); ``pending`` is None before the cache lookup and
-        # ``(key, subtree, inputs)`` once the node is scheduled for real
-        # evaluation.
+        # ``(key, deps, subtree, inputs)`` once the node is scheduled for
+        # real evaluation.
         stack: list[
             tuple[
                 Plan,
                 list[Relation],
                 ExecutionStats,
-                tuple[tuple, ExecutionStats, list[Relation]] | None,
+                tuple[tuple, tuple[str, ...], ExecutionStats, list[Relation]]
+                | None,
             ]
         ] = [(plan, root, stats, None)]
+        cache = self._cache
+        tracker = self._tracker
         while stack:
             node, dest, sink, pending = stack.pop()
             if pending is None:
-                key = plan_key(node)
-                entry = self._cache.get(key)
+                deps = dependencies(node)
+                key = (plan_key(node), tracker.vector(deps))
+                entry = cache.get(key)
                 if entry is not None:
-                    self._cache.move_to_end(key)
                     result, snapshot = entry
                     sink.cache_hits += 1
                     # Replay the subtree's logical work counters so stats
@@ -169,11 +204,11 @@ class Engine:
                 sink.cache_misses += 1
                 subtree = ExecutionStats()
                 inputs: list[Relation] = []
-                stack.append((node, dest, sink, (key, subtree, inputs)))
+                stack.append((node, dest, sink, (key, deps, subtree, inputs)))
                 for child in reversed(children(node)):
                     stack.append((child, inputs, subtree, None))
             else:
-                key, subtree, inputs = pending
+                key, deps, subtree, inputs = pending
                 result = self._apply_node(node, inputs, subtree)
                 sink.merge(subtree)
                 # The subtree stats become the entry's replay snapshot:
@@ -185,9 +220,7 @@ class Engine:
                 subtree.rows_built = 0
                 subtree.cache_hits = 0
                 subtree.cache_misses = 0
-                self._cache[key] = (result, subtree)
-                if len(self._cache) > self._cache_size:
-                    self._cache.popitem(last=False)
+                cache.put(key, (result, subtree), deps)
                 dest.append(result)
         return root[0]
 

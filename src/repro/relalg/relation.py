@@ -23,7 +23,7 @@ from operator import itemgetter
 from typing import Any, Callable
 
 from repro.errors import SchemaError
-from repro.relalg.columnar import ColumnStore
+from repro.relalg.columnar import ColumnStore, pool_epoch
 
 Row = tuple[Any, ...]
 
@@ -181,9 +181,11 @@ class Relation:
         pool (see :mod:`repro.relalg.columnar`); the store, its encoded
         domains, and its int-array key indexes are all memoized on the
         relation, so repeated vectorized executions share one encoding.
+        A memoized store built before :func:`~repro.relalg.columnar.clear_interning`
+        carries codes from a dead pool epoch and is rebuilt here.
         """
         store = self._colstore
-        if store is None:
+        if store is None or store.pool_epoch != pool_epoch():
             store = ColumnStore.from_rows(self._rows, len(self._columns))
             self._colstore = store
         return store

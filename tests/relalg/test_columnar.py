@@ -20,10 +20,14 @@ import pytest
 
 from repro.relalg.columnar import (
     ColumnStore,
+    _interned_pool_size,
     _min_typecode,
+    clear_interning,
     decode_column,
     encode_value,
+    interning_info,
     lookup_code,
+    pool_epoch,
 )
 from repro.relalg.relation import Relation, intern_header
 
@@ -175,3 +179,45 @@ class TestMemoryFootprint:
         rel = Relation(("a", "b", "c", "d"), set(rows))
         report = rel.memory_footprint()
         assert report["columnar_bytes"] < report["row_layout_bytes"]
+
+
+class TestClearInterning:
+    """The pool-release hook.  The interning tables are process-global
+    and append-only within an epoch; ``clear_interning()`` must actually
+    return the memory (footprint regression) and must not let codes from
+    the dead epoch leak into comparisons (stale stores are rebuilt)."""
+
+    def test_footprint_shrinks_and_epoch_advances(self):
+        Relation(("a",), [((f"pool-reg-{i}",),) for i in range(64)]).columnar()
+        before = interning_info()
+        assert before["values"] == _interned_pool_size() >= 64
+        epoch = pool_epoch()
+        clear_interning()
+        after = interning_info()
+        assert after["values"] == 0
+        assert after["epoch"] == pool_epoch() == epoch + 1
+
+    def test_stale_store_is_rebuilt_on_use(self):
+        rel = Relation(("a",), [("x",), ("y",)])
+        stale = rel.columnar()
+        clear_interning()
+        fresh = rel.columnar()
+        assert fresh is not stale
+        assert fresh.pool_epoch == pool_epoch()
+        assert rel.columnar() is fresh  # re-memoized under the new epoch
+        assert set(decode_column(fresh.codes[0])) == {"x", "y"}
+
+    def test_codes_comparable_only_within_an_epoch(self):
+        r = Relation(("a",), [("shared-value",)])
+        old = r.columnar()
+        clear_interning()
+        s = Relation(("b",), [("shared-value",), ("other",)])
+        new = s.columnar()
+        assert old.pool_epoch != new.pool_epoch
+        # Rebuilding r under the current epoch restores comparability.
+        assert set(r.columnar().codes[0]) <= set(new.codes[0])
+
+    def test_share_propagates_epoch(self):
+        rel = Relation(("a", "b"), [(1, 2)])
+        store = rel.columnar()
+        assert store.share((1,)).pool_epoch == store.pool_epoch

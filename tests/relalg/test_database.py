@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import CatalogError
+from repro.errors import CatalogError, SchemaError
 from repro.relalg.database import Database, database_from_tuples, edge_database
 from repro.relalg.relation import Relation
 
@@ -107,3 +107,101 @@ class TestGeneration:
         "r" in db
         db.names()
         assert db.generation == before
+
+    def test_generation_is_max_version(self):
+        db = Database()
+        db.add("r", Relation(("a",), [(1,)]))
+        db.add("s", Relation(("b",), [(2,)]))
+        db.replace("r", Relation(("a",), [(3,)]))
+        assert db.generation == max(db.versions().values())
+
+
+class TestVersions:
+    def test_unregistered_name_is_zero(self):
+        assert Database().version("nope") == 0
+
+    def test_mutations_bump_only_the_touched_relation(self):
+        db = database_from_tuples(
+            {"r": (("a",), [(1,)]), "s": (("b",), [(2,)])}
+        )
+        r_before, s_before = db.version("r"), db.version("s")
+        db.replace("s", Relation(("b",), [(3,)]))
+        assert db.version("r") == r_before
+        assert db.version("s") > s_before
+
+    def test_versions_never_reused(self):
+        db = database_from_tuples(
+            {"r": (("a",), [(1,)]), "s": (("b",), [(2,)])}
+        )
+        seen = {db.version("r"), db.version("s")}
+        db.replace("r", Relation(("a",), [(9,)]))
+        assert db.version("r") not in seen
+
+    def test_versions_snapshot_is_a_copy(self):
+        db = database_from_tuples({"r": (("a",), [(1,)])})
+        snapshot = db.versions()
+        db.replace("r", Relation(("a",), [(2,)]))
+        assert snapshot["r"] != db.version("r")
+
+    def test_version_vector_order_and_unknowns(self):
+        db = database_from_tuples(
+            {"r": (("a",), [(1,)]), "s": (("b",), [(2,)])}
+        )
+        vector = db.version_vector(("s", "nope", "r"))
+        assert vector == (db.version("s"), 0, db.version("r"))
+
+
+class TestDeltaAPIs:
+    def test_insert_rows_returns_inserted_count(self):
+        db = database_from_tuples({"r": (("a", "b"), [(1, 2)])})
+        assert db.insert_rows("r", [(1, 2), (3, 4), (3, 4)]) == 1
+        assert db["r"].rows == {(1, 2), (3, 4)}
+
+    def test_noop_insert_is_version_neutral(self):
+        db = database_from_tuples({"r": (("a", "b"), [(1, 2)])})
+        before = db.version("r")
+        assert db.insert_rows("r", [(1, 2)]) == 0
+        assert db.version("r") == before
+
+    def test_delete_rows_returns_removed_count(self):
+        db = database_from_tuples({"r": (("a", "b"), [(1, 2), (3, 4)])})
+        assert db.delete_rows("r", [(3, 4), (9, 9)]) == 1
+        assert db["r"].rows == {(1, 2)}
+
+    def test_noop_delete_is_version_neutral(self):
+        db = database_from_tuples({"r": (("a", "b"), [(1, 2)])})
+        before = db.version("r")
+        assert db.delete_rows("r", [(9, 9)]) == 0
+        assert db.version("r") == before
+
+    def test_effective_delta_bumps_version(self):
+        db = database_from_tuples({"r": (("a", "b"), [(1, 2)])})
+        v0 = db.version("r")
+        db.insert_rows("r", [(3, 4)])
+        v1 = db.version("r")
+        assert v1 > v0
+        db.delete_rows("r", [(3, 4)])
+        assert db.version("r") > v1
+
+    def test_insert_arity_mismatch_rejected(self):
+        db = database_from_tuples({"r": (("a", "b"), [(1, 2)])})
+        with pytest.raises(SchemaError, match="arity"):
+            db.insert_rows("r", [(1, 2, 3)])
+
+    def test_delete_arity_mismatch_rejected(self):
+        db = database_from_tuples({"r": (("a", "b"), [(1, 2)])})
+        with pytest.raises(CatalogError, match="arity"):
+            db.delete_rows("r", [(1,)])
+
+    def test_delta_on_unknown_relation_rejected(self):
+        db = Database()
+        with pytest.raises(CatalogError):
+            db.insert_rows("nope", [(1,)])
+        with pytest.raises(CatalogError):
+            db.delete_rows("nope", [(1,)])
+
+    def test_replace_always_bumps_even_when_equal(self):
+        db = database_from_tuples({"r": (("a",), [(1,)])})
+        before = db.version("r")
+        db.replace("r", Relation(("a",), [(1,)]))
+        assert db.version("r") > before

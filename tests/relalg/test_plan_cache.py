@@ -4,8 +4,10 @@ Covers the acceptance properties of the fast-path layer: cache on/off
 never changes results (across all five planning methods), repeated
 evaluation of a bucket-elimination plan produces cache hits, cache hits
 replay the subtree's logical stats (so plan-cost counters are
-cache-state independent), catalog mutations drop the cache via the
-database generation counter, and the LRU bound holds.
+cache-state independent), catalog mutations evict the dependent entries
+via per-relation version tracking, and the LRU bound holds.  Selective
+retention across a *multi*-relation catalog is covered in
+``test_invalidation.py``.
 """
 
 import random
@@ -124,8 +126,9 @@ def test_catalog_mutation_invalidates(db):
 
 
 def test_catalog_mutation_drops_stale_entries(db):
-    """Mutation clears the whole cache — stale results from earlier
-    generations are not pinned until LRU eviction."""
+    """Mutation evicts every entry depending on the mutated relation —
+    here all four, since every plan scans ``edge`` — so stale results
+    are not pinned until LRU eviction."""
     engine = Engine(db)
     for i in range(4):
         engine.execute(Scan("edge", (f"v{i}", "w")))
