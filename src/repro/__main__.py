@@ -107,6 +107,59 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "minimize", help="Chandra-Merlin join minimization"
     )
     add_common(minimize_cmd, with_method=False)
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="run the long-lived query service (newline-delimited JSON "
+        "over TCP; see docs/SERVICE.md)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_cmd.add_argument(
+        "--port", type=int, default=7411, help="TCP port (0 = pick a free one)"
+    )
+    serve_cmd.add_argument(
+        "--db",
+        action="append",
+        default=[],
+        metavar="NAME=DIR",
+        help="register a database from a directory of <relation>.csv files "
+        "(repeatable); with no --db/--edge-db, 'default' is the paper's "
+        "six-tuple 3-COLOR edge database",
+    )
+    serve_cmd.add_argument(
+        "--edge-db",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="register NAME as the built-in 3-COLOR edge database (repeatable)",
+    )
+    serve_cmd.add_argument(
+        "--queue-limit", type=int, default=256,
+        help="admission queue bound; a full queue fails fast with 'overloaded'",
+    )
+    serve_cmd.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="default queue-wait deadline in seconds (0 disables waiting)",
+    )
+    serve_cmd.add_argument(
+        "--batch-max", type=int, default=16,
+        help="max requests the worker drains from the queue per batch",
+    )
+    serve_cmd.add_argument(
+        "--max-sessions", type=int, default=1024, help="open-session limit"
+    )
+    serve_cmd.add_argument(
+        "--prepared-cache-size", type=int, default=256,
+        help="prepared-statement (query shape) LRU capacity per database",
+    )
+    serve_cmd.add_argument(
+        "--default-engine", choices=ENGINE_NAMES, default="interpreted",
+        help="engine for sessions that do not pick one",
+    )
+    serve_cmd.add_argument(
+        "--default-method", choices=METHODS, default="bucket",
+        help="planning method for sessions that do not pick one",
+    )
     return parser
 
 
@@ -239,6 +292,60 @@ def _cmd_minimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.relalg.database import edge_database
+    from repro.service import QueryService, ServiceConfig
+
+    databases = {}
+    for spec in args.db:
+        name, sep, directory = spec.partition("=")
+        if not sep or not name or not directory:
+            print(f"error: --db expects NAME=DIR, got {spec!r}", file=sys.stderr)
+            return 2
+        from repro.relalg.io import load_database
+
+        databases[name] = load_database(directory)
+    for name in args.edge_db:
+        databases[name] = edge_database()
+    if not databases:
+        databases["default"] = edge_database()
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        request_timeout=args.request_timeout,
+        batch_max=args.batch_max,
+        max_sessions=args.max_sessions,
+        prepared_cache_size=args.prepared_cache_size,
+        default_engine=args.default_engine,
+        default_method=args.default_method,
+    )
+    service = QueryService(databases, config)
+
+    async def run() -> None:
+        await service.start()
+        print(
+            f"repro service listening on {config.host}:{service.port} "
+            f"(databases: {', '.join(sorted(databases))})",
+            flush=True,
+        )
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_argument_parser().parse_args(argv)
@@ -249,6 +356,7 @@ def main(argv: list[str] | None = None) -> int:
         "program": _cmd_program,
         "analyze": _cmd_analyze,
         "minimize": _cmd_minimize,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

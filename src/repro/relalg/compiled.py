@@ -261,8 +261,11 @@ class CompiledEngine:
         self._cache.clear()
 
     def cache_info(self) -> CacheInfo:
-        """Cumulative result-cache traffic and current retention;
-        ``units`` is the number of retained compiled units."""
+        """Cumulative result-cache traffic and current retention:
+        ``hits``, ``misses``, ``evictions``, ``entries``, ``capacity``
+        (the configured bound — this is the field's name, per
+        docs/API.md), and ``units``, the number of retained compiled
+        units."""
         cache = self._cache
         return CacheInfo(
             hits=cache.hits,

@@ -124,6 +124,33 @@ class Database:
         self._relations[name] = relation
         self._touch(name)
 
+    def put(self, name: str, relation: Relation) -> bool:
+        """Register or overwrite ``name``, bumping its version only when
+        the stored relation actually changes.
+
+        This is the version-neutral sibling of :meth:`replace`: writing
+        back an equal relation (same header, same rows) leaves the
+        version — and therefore every cache keyed on it — untouched.
+        The service layer's prepared statements bind parameter values
+        through this method, so re-binding the *same* constant between
+        requests keeps compiled units and cached results fully warm,
+        while binding a different constant invalidates exactly the
+        entries that scan the parameter relation.  Returns whether the
+        catalog changed.
+        """
+        if not name:
+            raise CatalogError("relation name must be non-empty")
+        current = self._relations.get(name)
+        if (
+            current is not None
+            and current.columns == relation.columns
+            and current.rows == relation.rows
+        ):
+            return False
+        self._relations[name] = relation
+        self._touch(name)
+        return True
+
     def insert_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
         """Add ``rows`` to the relation under ``name``; return the number
         actually inserted (set semantics: duplicates are dropped).

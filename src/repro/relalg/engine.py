@@ -97,8 +97,10 @@ class Engine:
 
     def cache_info(self) -> CacheInfo:
         """Cumulative cache traffic and current retention (uniform
-        across all engines; the interpreted engine has no compiled
-        units, so ``units`` is always 0)."""
+        across all engines): ``hits``, ``misses``, ``evictions``,
+        ``entries``, ``capacity`` (the configured bound — this is the
+        field's name, per docs/API.md), and ``units`` (always 0 here;
+        the interpreted engine has no compiled units)."""
         cache = self._cache
         return CacheInfo(
             hits=cache.hits,

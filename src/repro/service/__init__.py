@@ -1,0 +1,69 @@
+"""Query-as-a-service layer: a long-lived server in front of the engines.
+
+The paper's experiments are single-shot batch evaluations; this package
+is what turns the reproduction into something that can sit under
+sustained concurrent traffic (the ROADMAP's north star).  It provides:
+
+- a newline-delimited JSON protocol (:mod:`repro.service.protocol`) over
+  TCP, spoken by :class:`QueryService` (:mod:`repro.service.server`) and
+  the blocking :class:`ServiceClient` (:mod:`repro.service.client`);
+- sessions pinning an engine + database, so long-lived engines keep
+  their plan caches and compiled units warm across requests;
+- prepared/parameterized statements keyed on query *shape*
+  (:mod:`repro.service.prepared`): constants are canonicalized into
+  parameter holes bound through single-row parameter relations, so
+  requests that differ only in constants share one plan and one set of
+  compiled units, and re-binding invalidates only the param-dependent
+  entries (PR 7's selective retention doing the work);
+- a bounded admission queue with request batching and per-request
+  queue-wait timeouts;
+- :class:`ServiceStats` (:mod:`repro.service.stats`): per-operation
+  latency percentiles, shape-cache and engine-cache hit rates, queue
+  depth, and per-method planning telemetry, surfaced via the ``stats``
+  introspection op.
+
+See ``docs/SERVICE.md`` for the protocol spec and a worked client
+example; ``benchmarks/bench_pr8_service.py`` is the concurrent traffic
+driver that produces the checked-in ``BENCH_PR8.json``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.prepared import (
+    PreparedStatement,
+    PreparedStatementCache,
+    QueryShape,
+    canonicalize_query,
+)
+from repro.service.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode_message,
+    error_response,
+    ok_response,
+)
+from repro.service.server import DatabaseHost, QueryService, Session, ServiceConfig
+from repro.service.stats import LatencyRecorder, ServiceStats
+
+__all__ = [
+    "DatabaseHost",
+    "ERROR_CODES",
+    "LatencyRecorder",
+    "MAX_LINE_BYTES",
+    "PreparedStatement",
+    "PreparedStatementCache",
+    "ProtocolError",
+    "QueryService",
+    "QueryShape",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceStats",
+    "Session",
+    "canonicalize_query",
+    "decode_line",
+    "encode_message",
+    "error_response",
+    "ok_response",
+]

@@ -1,0 +1,150 @@
+"""A small blocking client for the query service.
+
+The protocol is just newline-delimited JSON over TCP, so this is a thin
+convenience wrapper: one socket, one request in flight at a time,
+``dict`` in / ``dict`` out.  Error responses raise :class:`ServiceError`
+carrying the wire error code.  The concurrent benchmark driver uses raw
+asyncio streams instead; this class is for tests, scripts, and the
+worked example in docs/SERVICE.md::
+
+    with ServiceClient("127.0.0.1", 7411) as client:
+        session = client.open_session(engine="compiled")
+        answer = client.query(session, "q(X) :- edge(X, Y), edge(Y, X).")
+        print(answer["rows"])
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.service.protocol import MAX_LINE_BYTES, decode_line, encode_message
+
+
+class ServiceError(Exception):
+    """An ``ok: false`` response; ``code`` is the wire error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """Blocking, single-connection client (not thread-safe)."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # Core request/response
+    # ------------------------------------------------------------------
+    def request(self, op: str, **fields: Any) -> dict:
+        """Send one request and block for its response.
+
+        Returns the response dict on success; raises
+        :class:`ServiceError` when the server answered ``ok: false``.
+        """
+        request_id = self._next_id
+        self._next_id += 1
+        message = {"op": op, "id": request_id}
+        message.update(fields)
+        self._sock.sendall(encode_message(message))
+        line = self._file.readline(MAX_LINE_BYTES + 2)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = decode_line(line)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(
+                error.get("code", "internal"), error.get("message", "unknown")
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # Convenience ops
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def open_session(
+        self,
+        database: str | None = None,
+        engine: str | None = None,
+        method: str | None = None,
+    ) -> int:
+        """Open a session; returns its id (pass as ``session=`` below)."""
+        fields: dict[str, Any] = {}
+        if database is not None:
+            fields["database"] = database
+        if engine is not None:
+            fields["engine"] = engine
+        if method is not None:
+            fields["method"] = method
+        return int(self.request("open_session", **fields)["session"])
+
+    def close_session(self, session: int) -> dict:
+        return self.request("close_session", session=session)
+
+    def query(self, session: int, rule: str, method: str | None = None) -> dict:
+        """Parse + auto-prepare + execute one Datalog rule."""
+        fields: dict[str, Any] = {"session": session, "rule": rule}
+        if method is not None:
+            fields["method"] = method
+        return self.request("query", **fields)
+
+    def prepare(self, session: int, rule: str, method: str | None = None) -> dict:
+        fields: dict[str, Any] = {"session": session, "rule": rule}
+        if method is not None:
+            fields["method"] = method
+        return self.request("prepare", **fields)
+
+    def execute(self, session: int, statement: int, params: list | None = None) -> dict:
+        return self.request(
+            "execute",
+            session=session,
+            statement=statement,
+            params=list(params or []),
+        )
+
+    def update(
+        self,
+        session: int,
+        relation: str,
+        insert: list | None = None,
+        delete: list | None = None,
+    ) -> dict:
+        return self.request(
+            "update",
+            session=session,
+            relation=relation,
+            insert=[list(r) for r in (insert or [])],
+            delete=[list(r) for r in (delete or [])],
+        )
+
+    def stats_snapshot(self) -> dict:
+        return self.request("stats")["stats"]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["ServiceClient", "ServiceError"]

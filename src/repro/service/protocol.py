@@ -1,0 +1,139 @@
+"""Wire protocol: newline-delimited JSON over a byte stream.
+
+One message per line, UTF-8, ``\\n``-terminated.  Requests are JSON
+objects with at least an ``"op"`` string; an optional ``"id"`` (any JSON
+value) is echoed on the response so clients may pipeline.  Responses are
+JSON objects with ``"ok": true`` plus op-specific fields, or
+``"ok": false`` plus an ``"error": {"code", "message"}`` object.
+
+The full request/response schema per operation is specified in
+``docs/SERVICE.md``; this module owns only framing, parsing, and the
+error-code vocabulary, so the server, the blocking client, and the
+benchmark driver agree on one implementation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+#: Upper bound on one encoded message line (requests carrying rows for
+#: bulk updates stay well under this; anything larger is rejected before
+#: parsing, so a misbehaving client cannot balloon server memory).
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: The error-code vocabulary (the ``error.code`` field of a failed
+#: response).  Stable strings, not numbers — see docs/SERVICE.md.
+ERROR_CODES = (
+    "parse_error",  # the line was not valid JSON / not an object
+    "bad_request",  # missing or ill-typed fields
+    "unknown_op",  # unrecognized "op"
+    "unknown_database",  # no database registered under that name
+    "unknown_session",  # session id not open (or already closed)
+    "unknown_statement",  # prepared-statement id not in the shape cache
+    "unknown_relation",  # catalog lookup failed
+    "query_error",  # rule text rejected, or the plan is malformed
+    "timeout",  # request exceeded its queue-wait deadline
+    "overloaded",  # admission queue full; retry later
+    "shutdown",  # server is stopping
+    "internal",  # unexpected server-side failure
+)
+
+
+class ProtocolError(Exception):
+    """A message violated the wire protocol.
+
+    ``code`` is one of :data:`ERROR_CODES` (``parse_error`` or
+    ``bad_request``), suitable for echoing back to the client.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def encode_message(message: dict) -> bytes:
+    """One protocol line: compact JSON + newline, UTF-8."""
+    return json.dumps(message, separators=(",", ":"), default=str).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+def decode_line(raw: bytes | str) -> dict:
+    """Parse one received line into a message dict.
+
+    Raises :class:`ProtocolError` for oversized lines, invalid JSON, or
+    a top-level value that is not an object.
+    """
+    if isinstance(raw, bytes):
+        if len(raw) > MAX_LINE_BYTES:
+            raise ProtocolError(
+                "bad_request", f"line exceeds {MAX_LINE_BYTES} bytes"
+            )
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError("parse_error", f"invalid UTF-8: {exc}") from None
+    else:
+        text = raw
+    text = text.strip()
+    if not text:
+        raise ProtocolError("parse_error", "empty message line")
+    try:
+        message = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("parse_error", f"invalid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            "parse_error", f"message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def request_field(message: dict, name: str, kind: type, required: bool = True):
+    """Fetch and type-check one request field (``None`` when optional
+    and absent)."""
+    value = message.get(name)
+    if value is None:
+        if required:
+            raise ProtocolError("bad_request", f"missing field {name!r}")
+        return None
+    if kind is float and isinstance(value, int) and not isinstance(value, bool):
+        value = float(value)
+    if not isinstance(value, kind) or (kind is int and isinstance(value, bool)):
+        raise ProtocolError(
+            "bad_request",
+            f"field {name!r} must be {kind.__name__}, got {type(value).__name__}",
+        )
+    return value
+
+
+def ok_response(request_id: Any, **fields) -> dict:
+    """A success response echoing ``request_id``."""
+    response = {"id": request_id, "ok": True}
+    response.update(fields)
+    return response
+
+
+def error_response(request_id: Any, code: str, message: str) -> dict:
+    """A failure response echoing ``request_id``."""
+    if code not in ERROR_CODES:  # pragma: no cover - programming error
+        raise ValueError(f"unknown error code {code!r}")
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+__all__ = [
+    "ERROR_CODES",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "decode_line",
+    "encode_message",
+    "error_response",
+    "ok_response",
+    "request_field",
+]

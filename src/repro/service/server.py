@@ -1,0 +1,710 @@
+"""The query service: a long-lived asyncio TCP server over the engines.
+
+Architecture (see ``docs/SERVICE.md`` for the wire-level spec):
+
+- One :class:`DatabaseHost` per registered database owns the
+  :class:`~repro.relalg.database.Database`, one lazily-created engine
+  per backend name (so plan caches and compiled units live as long as
+  the server), and the :class:`PreparedStatementCache` of planned query
+  shapes.
+- :class:`Session` objects pin a database + engine + default planning
+  method for a client; they are bookkeeping only and cost nothing to
+  hold open.
+- Engine work (``prepare`` / ``execute`` / ``query`` / ``update``) is
+  admitted through one bounded queue — a full queue fails fast with
+  ``overloaded`` — and drained by a single worker that dequeues up to
+  ``batch_max`` requests at a time and runs them on a one-thread
+  executor.  That single thread serializes all engine and catalog
+  access, so the service needs no locks anywhere.  Per-request timeouts
+  are *queue-wait* deadlines, checked at dequeue: an expired request is
+  failed with ``timeout`` without executing.  Execution itself is not
+  preempted.
+- Cheap ops (``ping``, ``stats``, ``open_session``, ``close_session``)
+  run inline on the event loop and never queue behind engine work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.planner import METHODS
+from repro.core.query import ConjunctiveQuery
+from repro.datalog import parse_rule
+from repro.errors import CatalogError, PlanError, QueryStructureError, ReproError
+from repro.relalg.compiled import DEFAULT_PLAN_CACHE_SIZE, ENGINE_NAMES, make_engine
+from repro.relalg.database import Database
+from repro.relalg.relation import Relation
+from repro.service.prepared import PreparedStatement, PreparedStatementCache
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode_message,
+    error_response,
+    ok_response,
+    request_field,
+)
+from repro.service.stats import ServiceStats
+
+#: Scalar types accepted as parameter values and update-row entries
+#: (everything Datalog constants can be, plus what JSON can carry).
+_SCALAR_TYPES = (str, int, float)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one :class:`QueryService` (the admission-control
+    knobs are documented in docs/SERVICE.md)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port; read it back via .port
+    queue_limit: int = 256
+    request_timeout: float = 30.0
+    batch_max: int = 16
+    max_sessions: int = 1024
+    prepared_cache_size: int = 256
+    plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
+    default_engine: str = "interpreted"
+    default_method: str = "bucket"
+
+
+@dataclass
+class Session:
+    """A client-visible binding of database + engine + default method."""
+
+    session_id: int
+    database: str
+    engine: str
+    method: str
+    requests: int = 0
+
+
+class _RequestError(Exception):
+    """Internal: abort the current request with a protocol error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def _map_exception(exc: Exception) -> tuple[str, str]:
+    """Translate library exceptions into wire error codes."""
+    if isinstance(exc, _RequestError):
+        return exc.code, exc.message
+    if isinstance(exc, ProtocolError):
+        return exc.code, exc.message
+    if isinstance(exc, CatalogError):
+        return "unknown_relation", str(exc)
+    if isinstance(exc, (PlanError, QueryStructureError)):
+        return "query_error", str(exc)
+    if isinstance(exc, ReproError):
+        # DatalogSyntaxError subclasses SqlSyntaxError subclasses this.
+        return "query_error", str(exc)
+    if isinstance(exc, ValueError):
+        return "bad_request", str(exc)
+    return "internal", f"{type(exc).__name__}: {exc}"
+
+
+class DatabaseHost:
+    """Server-side state for one named database.
+
+    All methods that touch the catalog or an engine are called only from
+    the service's single executor thread (or from single-threaded test
+    code); they are deliberately synchronous and lock-free.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        database: Database,
+        prepared_cache_size: int = 256,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+    ) -> None:
+        self.name = name
+        self.database = database
+        self.prepared = PreparedStatementCache(capacity=prepared_cache_size)
+        self.method_plans: dict[str, int] = {}
+        self._plan_cache_size = plan_cache_size
+        self._engines: dict[str, object] = {}
+
+    def engine(self, engine_name: str):
+        """The long-lived engine for ``engine_name`` (created on first
+        use, then kept warm for the life of the server)."""
+        engine = self._engines.get(engine_name)
+        if engine is None:
+            engine = make_engine(
+                engine_name, self.database, plan_cache_size=self._plan_cache_size
+            )
+            self._engines[engine_name] = engine
+        return engine
+
+    def prepare(
+        self, query: ConjunctiveQuery, method: str
+    ) -> tuple[PreparedStatement, tuple, bool]:
+        """Prepare (or fetch) the statement for ``query``'s shape."""
+        statement, values, hit = self.prepared.prepare(query, method)
+        if not hit:
+            self.method_plans[method] = self.method_plans.get(method, 0) + 1
+        return statement, values, hit
+
+    def execute_statement(
+        self, statement: PreparedStatement, values: tuple, engine_name: str
+    ) -> tuple[Relation, int, float]:
+        """Bind ``values`` and run the statement's plan; returns
+        ``(result, rebound_params, elapsed_seconds)``."""
+        rebound = statement.bind(self.database, values)
+        engine = self.engine(engine_name)
+        started = time.perf_counter()
+        result = engine.execute(statement.plan)
+        elapsed = time.perf_counter() - started
+        statement.uses += 1
+        return result, rebound, elapsed
+
+    def update(
+        self, relation: str, insert: list, delete: list
+    ) -> tuple[int, int]:
+        """Apply a row-level delta; returns ``(inserted, deleted)``."""
+        inserted = (
+            self.database.insert_rows(relation, insert) if insert else 0
+        )
+        deleted = (
+            self.database.delete_rows(relation, delete) if delete else 0
+        )
+        return inserted, deleted
+
+    def info(self) -> dict:
+        """Introspection block for the ``stats`` op."""
+        db = self.database
+        return {
+            "relations": len(db),
+            "total_tuples": db.total_tuples(),
+            "generation": db.generation,
+            "prepared": self.prepared.info(),
+            "plans_by_method": dict(self.method_plans),
+            "engines": {
+                name: engine.cache_info()._asdict()
+                for name, engine in sorted(self._engines.items())
+            },
+        }
+
+
+class _Work:
+    """One admitted engine request waiting in the queue."""
+
+    __slots__ = ("thunk", "future", "deadline", "request_id", "enqueued")
+
+    def __init__(self, thunk, future, deadline, request_id, enqueued):
+        self.thunk = thunk
+        self.future = future
+        self.deadline = deadline
+        self.request_id = request_id
+        self.enqueued = enqueued
+
+
+class QueryService:
+    """The asyncio server; see the module docstring for the design.
+
+    Usage::
+
+        service = QueryService({"default": edge_database()})
+        await service.start()
+        ...  # service.port is now bound
+        await service.stop()
+    """
+
+    _ENGINE_OPS = frozenset({"prepare", "execute", "query", "update"})
+
+    def __init__(
+        self,
+        databases: dict[str, Database],
+        config: ServiceConfig | None = None,
+    ) -> None:
+        if not databases:
+            raise ValueError("QueryService needs at least one database")
+        self.config = config or ServiceConfig()
+        self.hosts = {
+            name: DatabaseHost(
+                name,
+                database,
+                prepared_cache_size=self.config.prepared_cache_size,
+                plan_cache_size=self.config.plan_cache_size,
+            )
+            for name, database in databases.items()
+        }
+        self.stats = ServiceStats()
+        self._sessions: dict[int, Session] = {}
+        self._next_session = 1
+        self._server: asyncio.AbstractServer | None = None
+        self._queue: asyncio.Queue[_Work] | None = None
+        self._worker_task: asyncio.Task | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound TCP port (valid after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the admission worker."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=max(1, self.config.queue_limit))
+        # One thread: all engine/catalog access is serialized here, so
+        # the engines and the Database need no locking.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_client,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE_BYTES + 1024,
+        )
+        self._worker_task = self._loop.create_task(self._worker())
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (used by ``python -m repro serve``)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Close the listener, fail queued requests with ``shutdown``,
+        and release the executor."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        if self._worker_task is not None:
+            self._worker_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._worker_task
+        if self._queue is not None:
+            while not self._queue.empty():
+                item = self._queue.get_nowait()
+                if not item.future.done():
+                    item.future.set_result(
+                        (
+                            None,
+                            error_response(
+                                item.request_id, "shutdown", "server stopping"
+                            ),
+                        )
+                    )
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        self._server = None
+        self._worker_task = None
+        self._executor = None
+        self._queue = None
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(
+                        encode_message(
+                            error_response(
+                                None, "bad_request", "message line too long"
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                try:
+                    message = decode_line(line)
+                except ProtocolError as exc:
+                    self.stats.record_error(exc.code)
+                    writer.write(
+                        encode_message(error_response(None, exc.code, exc.message))
+                    )
+                    await writer.drain()
+                    continue
+                response = await self._dispatch(message)
+                writer.write(encode_message(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, message: dict) -> dict:
+        assert self._loop is not None
+        request_id = message.get("id")
+        started = self._loop.time()
+        try:
+            op = request_field(message, "op", str)
+        except ProtocolError as exc:
+            self.stats.record_error(exc.code)
+            return error_response(request_id, exc.code, exc.message)
+        self.stats.record_request(op)
+        label = op
+        try:
+            if op == "ping":
+                response = ok_response(request_id, pong=True)
+            elif op == "stats":
+                response = ok_response(request_id, stats=self.snapshot())
+            elif op == "open_session":
+                response = self._op_open_session(request_id, message)
+            elif op == "close_session":
+                response = self._op_close_session(request_id, message)
+            elif op in self._ENGINE_OPS:
+                label, response = await self._admit(request_id, op, message)
+                label = label or op
+            else:
+                response = error_response(
+                    request_id, "unknown_op", f"unknown op {op!r}"
+                )
+        except (ProtocolError, _RequestError) as exc:
+            response = error_response(request_id, exc.code, exc.message)
+        except Exception as exc:  # defensive: never kill the connection
+            code, text = _map_exception(exc)
+            response = error_response(request_id, code, text)
+        if response.get("ok"):
+            self.stats.record_latency(label, self._loop.time() - started)
+        else:
+            self.stats.record_error(response["error"]["code"])
+        return response
+
+    def _resolve_session(self, message: dict) -> Session:
+        session_id = request_field(message, "session", int)
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise _RequestError(
+                "unknown_session", f"no open session {session_id}"
+            )
+        session.requests += 1
+        return session
+
+    def _resolve_method(self, message: dict, session: Session) -> str:
+        method = request_field(message, "method", str, required=False)
+        if method is None:
+            return session.method
+        if method not in METHODS:
+            raise _RequestError(
+                "bad_request",
+                f"unknown method {method!r}; expected one of {list(METHODS)}",
+            )
+        return method
+
+    # ------------------------------------------------------------------
+    # Fast ops (inline on the event loop)
+    # ------------------------------------------------------------------
+    def _op_open_session(self, request_id, message: dict) -> dict:
+        if len(self._sessions) >= self.config.max_sessions:
+            return error_response(
+                request_id,
+                "overloaded",
+                f"session limit {self.config.max_sessions} reached",
+            )
+        database = (
+            request_field(message, "database", str, required=False) or "default"
+        )
+        if database not in self.hosts:
+            return error_response(
+                request_id,
+                "unknown_database",
+                f"unknown database {database!r}; have {sorted(self.hosts)}",
+            )
+        engine = (
+            request_field(message, "engine", str, required=False)
+            or self.config.default_engine
+        )
+        if engine not in ENGINE_NAMES:
+            return error_response(
+                request_id,
+                "bad_request",
+                f"unknown engine {engine!r}; expected one of {list(ENGINE_NAMES)}",
+            )
+        method = (
+            request_field(message, "method", str, required=False)
+            or self.config.default_method
+        )
+        if method not in METHODS:
+            return error_response(
+                request_id,
+                "bad_request",
+                f"unknown method {method!r}; expected one of {list(METHODS)}",
+            )
+        session = Session(self._next_session, database, engine, method)
+        self._next_session += 1
+        self._sessions[session.session_id] = session
+        self.stats.sessions_opened += 1
+        return ok_response(
+            request_id,
+            session=session.session_id,
+            database=database,
+            engine=engine,
+            method=method,
+        )
+
+    def _op_close_session(self, request_id, message: dict) -> dict:
+        session = self._resolve_session(message)
+        del self._sessions[session.session_id]
+        self.stats.sessions_closed += 1
+        return ok_response(
+            request_id, session=session.session_id, requests=session.requests
+        )
+
+    # ------------------------------------------------------------------
+    # Engine ops (through the admission queue)
+    # ------------------------------------------------------------------
+    async def _admit(self, request_id, op: str, message: dict):
+        assert self._loop is not None and self._queue is not None
+        if self._stopping:
+            return None, error_response(request_id, "shutdown", "server stopping")
+        session = self._resolve_session(message)
+        host = self.hosts[session.database]
+        thunk = self._build_thunk(request_id, op, message, session, host)
+        timeout = request_field(message, "timeout", float, required=False)
+        if timeout is None:
+            timeout = self.config.request_timeout
+        now = self._loop.time()
+        deadline = now + timeout if timeout > 0 else now
+        work = _Work(thunk, self._loop.create_future(), deadline, request_id, now)
+        try:
+            self._queue.put_nowait(work)
+        except asyncio.QueueFull:
+            return None, error_response(
+                request_id,
+                "overloaded",
+                f"admission queue full ({self.config.queue_limit})",
+            )
+        self.stats.set_queue_depth(self._queue.qsize())
+        return await work.future
+
+    def _build_thunk(self, request_id, op, message, session, host):
+        """Validate the request *now* (on the loop) and return the
+        closure the executor thread will run."""
+        if op == "prepare":
+            rule = request_field(message, "rule", str)
+            method = self._resolve_method(message, session)
+
+            def thunk():
+                query = parse_rule(rule)
+                statement, values, hit = host.prepare(query, method)
+                return op, ok_response(
+                    request_id,
+                    statement=statement.statement_id,
+                    shape=statement.shape.text,
+                    params=statement.param_count,
+                    columns=list(statement.columns),
+                    method=method,
+                    cached=hit,
+                    default_params=list(values),
+                )
+
+            return thunk
+
+        if op == "execute":
+            statement_id = request_field(message, "statement", int)
+            params = message.get("params", [])
+            self._check_params(params)
+
+            def thunk():
+                statement = host.prepared.by_id(statement_id)
+                if statement is None:
+                    raise _RequestError(
+                        "unknown_statement",
+                        f"no prepared statement {statement_id}",
+                    )
+                result, rebound, elapsed = host.execute_statement(
+                    statement, tuple(params), session.engine
+                )
+                return "execute", self._result_response(
+                    request_id, statement, result, True, rebound, elapsed
+                )
+
+            return thunk
+
+        if op == "query":
+            rule = request_field(message, "rule", str)
+            method = self._resolve_method(message, session)
+
+            def thunk():
+                query = parse_rule(rule)
+                statement, values, hit = host.prepare(query, method)
+                result, rebound, elapsed = host.execute_statement(
+                    statement, values, session.engine
+                )
+                label = "query_warm" if hit else "query_cold"
+                return label, self._result_response(
+                    request_id, statement, result, hit, rebound, elapsed
+                )
+
+            return thunk
+
+        if op == "update":
+            relation = request_field(message, "relation", str)
+            insert = self._check_rows(message.get("insert", []), "insert")
+            delete = self._check_rows(message.get("delete", []), "delete")
+
+            def thunk():
+                inserted, deleted = host.update(relation, insert, delete)
+                return "update", ok_response(
+                    request_id,
+                    relation=relation,
+                    inserted=inserted,
+                    deleted=deleted,
+                    version=host.database.version(relation),
+                )
+
+            return thunk
+
+        raise _RequestError("unknown_op", f"unknown op {op!r}")  # pragma: no cover
+
+    @staticmethod
+    def _result_response(request_id, statement, result, cached, rebound, elapsed):
+        rows = [list(row) for row in sorted(result.rows, key=repr)]
+        return ok_response(
+            request_id,
+            statement=statement.statement_id,
+            columns=list(statement.columns),
+            rows=rows,
+            cardinality=result.cardinality,
+            cached=cached,
+            rebound=rebound,
+            elapsed_s=elapsed,
+        )
+
+    @staticmethod
+    def _check_params(params) -> None:
+        if not isinstance(params, list):
+            raise _RequestError("bad_request", "params must be an array")
+        for value in params:
+            if not isinstance(value, _SCALAR_TYPES):
+                raise _RequestError(
+                    "bad_request",
+                    f"parameter values must be scalars, got {value!r}",
+                )
+
+    @staticmethod
+    def _check_rows(rows, field_name: str) -> list[tuple]:
+        if not isinstance(rows, list):
+            raise _RequestError("bad_request", f"{field_name} must be an array")
+        out = []
+        for row in rows:
+            if not isinstance(row, list) or not all(
+                isinstance(v, _SCALAR_TYPES) for v in row
+            ):
+                raise _RequestError(
+                    "bad_request",
+                    f"{field_name} rows must be arrays of scalars, got {row!r}",
+                )
+            out.append(tuple(row))
+        return out
+
+    # ------------------------------------------------------------------
+    # The admission worker
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        assert self._loop is not None and self._queue is not None
+        while True:
+            work = await self._queue.get()
+            batch = [work]
+            while len(batch) < max(1, self.config.batch_max):
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            self.stats.record_batch(len(batch))
+            self.stats.set_queue_depth(self._queue.qsize())
+            now = self._loop.time()
+            runnable = []
+            for item in batch:
+                if now > item.deadline:
+                    if not item.future.done():
+                        item.future.set_result(
+                            (
+                                None,
+                                error_response(
+                                    item.request_id,
+                                    "timeout",
+                                    "request exceeded its queue-wait deadline",
+                                ),
+                            )
+                        )
+                else:
+                    runnable.append(item)
+            if runnable:
+                await self._loop.run_in_executor(
+                    self._executor, self._run_batch, runnable
+                )
+
+    def _run_batch(self, items: list[_Work]) -> None:
+        """Executor thread: run each thunk, hand results back to the loop."""
+        assert self._loop is not None
+        for item in items:
+            try:
+                outcome = item.thunk()
+            except Exception as exc:
+                code, text = _map_exception(exc)
+                outcome = (None, error_response(item.request_id, code, text))
+            self._loop.call_soon_threadsafe(self._deliver, item, outcome)
+
+    @staticmethod
+    def _deliver(item: _Work, outcome) -> None:
+        if not item.future.done():
+            item.future.set_result(outcome)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The ``stats`` op's payload.  Counters are read without
+        synchronization — values are advisory, not transactional."""
+        return {
+            "service": self.stats.snapshot(),
+            "sessions": len(self._sessions),
+            "config": {
+                "queue_limit": self.config.queue_limit,
+                "request_timeout": self.config.request_timeout,
+                "batch_max": self.config.batch_max,
+                "max_sessions": self.config.max_sessions,
+                "prepared_cache_size": self.config.prepared_cache_size,
+                "plan_cache_size": self.config.plan_cache_size,
+                "default_engine": self.config.default_engine,
+                "default_method": self.config.default_method,
+            },
+            "databases": {
+                name: host.info() for name, host in sorted(self.hosts.items())
+            },
+        }
+
+
+__all__ = [
+    "DatabaseHost",
+    "QueryService",
+    "ServiceConfig",
+    "Session",
+]

@@ -1,0 +1,146 @@
+"""Service telemetry: latency percentiles, counters, queue gauges.
+
+Everything here is plain in-process accounting — no background threads,
+no clocks of its own.  The server records durations it measured into
+:class:`LatencyRecorder` rings and bumps :class:`ServiceStats` counters;
+the ``stats`` introspection op serializes a :meth:`ServiceStats.snapshot`
+straight onto the wire.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+#: Samples retained per latency class.  Old samples fall off, so the
+#: percentiles reported under sustained traffic describe *recent*
+#: behaviour rather than the whole process lifetime.
+DEFAULT_WINDOW = 8192
+
+#: The percentiles every snapshot reports.
+PERCENTILES = (50, 95, 99)
+
+
+class LatencyRecorder:
+    """A bounded ring of latency samples with percentile snapshots.
+
+    >>> r = LatencyRecorder()
+    >>> for ms in (1, 2, 3, 4, 100):
+    ...     r.record(ms / 1000)
+    >>> r.snapshot()["count"]
+    5
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        self._samples: deque[float] = deque(maxlen=window)
+        self.count = 0  # lifetime, not window-bounded
+        self.total = 0.0
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self.count += 1
+        self.total += seconds
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile over the retained window (0.0 when
+        empty)."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(pct / 100 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        """Lifetime count/mean plus windowed percentiles, in seconds."""
+        ordered = sorted(self._samples)
+        out = {
+            "count": self.count,
+            "mean_s": (self.total / self.count) if self.count else 0.0,
+        }
+        for pct in PERCENTILES:
+            if ordered:
+                rank = max(
+                    0, min(len(ordered) - 1, round(pct / 100 * (len(ordered) - 1)))
+                )
+                out[f"p{pct}_s"] = ordered[rank]
+            else:
+                out[f"p{pct}_s"] = 0.0
+        return out
+
+
+class ServiceStats:
+    """Aggregate counters for one :class:`~repro.service.server.QueryService`.
+
+    Latency classes are free-form strings (the server uses the op name,
+    plus ``query_warm``/``query_cold`` for shape-cache hits vs misses),
+    created on first use.
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        self._window = window
+        self.requests = 0
+        self.errors: dict[str, int] = {}
+        self.ops: dict[str, int] = {}
+        self.admission_rejections = 0
+        self.timeouts = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.queue_depth = 0
+        self.queue_peak = 0
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        self._latency: dict[str, LatencyRecorder] = {}
+
+    def record_request(self, op: str) -> None:
+        self.requests += 1
+        self.ops[op] = self.ops.get(op, 0) + 1
+
+    def record_error(self, code: str) -> None:
+        self.errors[code] = self.errors.get(code, 0) + 1
+        if code == "timeout":
+            self.timeouts += 1
+        elif code == "overloaded":
+            self.admission_rejections += 1
+
+    def record_latency(self, label: str, seconds: float) -> None:
+        recorder = self._latency.get(label)
+        if recorder is None:
+            recorder = self._latency[label] = LatencyRecorder(self._window)
+        recorder.record(seconds)
+
+    def record_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_requests += size
+
+    def set_queue_depth(self, depth: int) -> None:
+        self.queue_depth = depth
+        if depth > self.queue_peak:
+            self.queue_peak = depth
+
+    def latency(self, label: str) -> LatencyRecorder | None:
+        return self._latency.get(label)
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of every counter and latency class."""
+        return {
+            "requests": self.requests,
+            "ops": dict(self.ops),
+            "errors": dict(self.errors),
+            "admission_rejections": self.admission_rejections,
+            "timeouts": self.timeouts,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "mean_batch_size": (
+                self.batched_requests / self.batches if self.batches else 0.0
+            ),
+            "queue_depth": self.queue_depth,
+            "queue_peak": self.queue_peak,
+            "sessions_opened": self.sessions_opened,
+            "sessions_closed": self.sessions_closed,
+            "latency": {
+                label: recorder.snapshot()
+                for label, recorder in sorted(self._latency.items())
+            },
+        }
+
+
+__all__ = ["DEFAULT_WINDOW", "PERCENTILES", "LatencyRecorder", "ServiceStats"]

@@ -205,3 +205,31 @@ class TestDeltaAPIs:
         before = db.version("r")
         db.replace("r", Relation(("a",), [(1,)]))
         assert db.version("r") > before
+
+
+class TestPut:
+    def test_put_creates_and_bumps(self):
+        db = Database()
+        assert db.put("r", Relation(("a",), [(1,)])) is True
+        assert db.version("r") > 0
+
+    def test_put_equal_relation_is_version_neutral(self):
+        db = database_from_tuples({"r": (("a",), [(1,)])})
+        before = db.version("r")
+        assert db.put("r", Relation(("a",), [(1,)])) is False
+        assert db.version("r") == before
+
+    def test_put_different_rows_bumps(self):
+        db = database_from_tuples({"r": (("a",), [(1,)])})
+        before = db.version("r")
+        assert db.put("r", Relation(("a",), [(2,)])) is True
+        assert db.version("r") > before
+        assert db["r"].rows == {(2,)}
+
+    def test_put_different_columns_bumps(self):
+        db = database_from_tuples({"r": (("a",), [(1,)])})
+        assert db.put("r", Relation(("b",), [(1,)])) is True
+
+    def test_put_empty_name_rejected(self):
+        with pytest.raises(CatalogError):
+            Database().put("", Relation(("a",)))

@@ -161,3 +161,20 @@ def test_negative_cache_size_rejected(db):
 def test_plan_cache_enabled_property(db):
     assert Engine(db).plan_cache_enabled
     assert not Engine(db, plan_cache_size=0).plan_cache_enabled
+
+
+def test_cache_info_field_names_are_pinned(db):
+    """The CacheInfo schema is a documented contract (docs/API.md): the
+    LRU bound is named ``capacity`` — not ``maxsize``/``max_size`` —
+    and the field order is part of the wire-visible `_asdict()` output
+    the service's stats op serializes."""
+    from repro.relalg.cache import CacheInfo
+    from repro.relalg.compiled import make_engine
+
+    assert CacheInfo._fields == (
+        "hits", "misses", "evictions", "entries", "capacity", "units"
+    )
+    for engine_name in ("interpreted", "compiled", "vectorized"):
+        info = make_engine(engine_name, db).cache_info()
+        assert isinstance(info, CacheInfo)
+        assert info.capacity > 0

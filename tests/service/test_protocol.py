@@ -1,0 +1,95 @@
+"""Wire framing: encode/decode round trips, field checks, error codes."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode_message,
+    error_response,
+    ok_response,
+    request_field,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"op": "query", "id": 7, "rule": "q(X) :- edge(X, Y)."}
+        assert decode_line(encode_message(message)) == message
+
+    def test_encode_is_one_line(self):
+        raw = encode_message({"op": "ping", "note": "a\nb"})
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1  # interior newline is escaped
+
+    def test_compact_encoding(self):
+        assert b": " not in encode_message({"a": 1, "b": 2})
+
+    def test_decode_accepts_str(self):
+        assert decode_line('{"op":"ping"}\n') == {"op": "ping"}
+
+    def test_oversized_line_rejected(self):
+        raw = b'{"pad":"' + b"x" * MAX_LINE_BYTES + b'"}\n'
+        with pytest.raises(ProtocolError) as exc:
+            decode_line(raw)
+        assert exc.value.code == "bad_request"
+
+    @pytest.mark.parametrize(
+        "raw", [b"", b"   \n", b"not json\n", b"[1, 2]\n", b'"str"\n', b"\xff\xfe\n"]
+    )
+    def test_bad_lines_raise_parse_errors(self, raw):
+        with pytest.raises(ProtocolError) as exc:
+            decode_line(raw)
+        assert exc.value.code in ("parse_error", "bad_request")
+
+    def test_non_serializable_values_coerced_via_str(self):
+        # default=str: odd values degrade to strings instead of blowing
+        # up the response path.
+        raw = encode_message({"v": {1, 2}.__class__})
+        assert json.loads(raw)
+
+
+class TestRequestField:
+    def test_present_and_typed(self):
+        assert request_field({"n": 3}, "n", int) == 3
+
+    def test_missing_required(self):
+        with pytest.raises(ProtocolError) as exc:
+            request_field({}, "op", str)
+        assert exc.value.code == "bad_request"
+        assert "op" in exc.value.message
+
+    def test_missing_optional_is_none(self):
+        assert request_field({}, "method", str, required=False) is None
+
+    def test_wrong_type(self):
+        with pytest.raises(ProtocolError):
+            request_field({"session": "one"}, "session", int)
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(ProtocolError):
+            request_field({"session": True}, "session", int)
+
+    def test_int_coerces_to_float(self):
+        value = request_field({"timeout": 5}, "timeout", float)
+        assert value == 5.0 and isinstance(value, float)
+
+
+class TestResponses:
+    def test_ok_echoes_id_and_fields(self):
+        response = ok_response(42, rows=[])
+        assert response == {"id": 42, "ok": True, "rows": []}
+
+    def test_error_shape(self):
+        response = error_response(None, "timeout", "too slow")
+        assert response["ok"] is False
+        assert response["error"] == {"code": "timeout", "message": "too slow"}
+
+    def test_error_codes_are_closed_vocabulary(self):
+        with pytest.raises(ValueError):
+            error_response(1, "no_such_code", "boom")
+        assert len(set(ERROR_CODES)) == len(ERROR_CODES)

@@ -1,0 +1,286 @@
+"""End-to-end service tests: a live asyncio server on a loopback socket,
+exercised through the blocking :class:`ServiceClient`.
+
+The event loop runs in a background thread so the (synchronous) tests
+can use the same client code a real script would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.core.planner import plan_query
+from repro.datalog import parse_rule
+from repro.relalg.compiled import ENGINE_NAMES
+from repro.relalg.database import Database, edge_database
+from repro.relalg.engine import evaluate
+from repro.relalg.relation import Relation
+from repro.service import QueryService, ServiceClient, ServiceConfig, ServiceError
+
+
+def service_database() -> Database:
+    db = edge_database()
+    rows = [(i, (i * 3 + 1) % 7) for i in range(7)] + [(1, 4), (2, 5)]
+    db.add("graph", Relation(("u", "w"), rows))
+    return db
+
+
+class LiveService:
+    """A QueryService running on a background event-loop thread."""
+
+    def __init__(self, databases=None, **config_kwargs):
+        self.service = QueryService(
+            databases or {"default": service_database()},
+            ServiceConfig(port=0, **config_kwargs),
+        )
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
+        self.thread.start()
+        asyncio.run_coroutine_threadsafe(self.service.start(), self.loop).result(10)
+        self.port = self.service.port
+
+    def client(self, **kwargs) -> ServiceClient:
+        return ServiceClient("127.0.0.1", self.port, **kwargs)
+
+    def shutdown(self) -> None:
+        asyncio.run_coroutine_threadsafe(self.service.stop(), self.loop).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        self.loop.close()
+
+
+@pytest.fixture
+def live():
+    started: list[LiveService] = []
+
+    def factory(databases=None, **config_kwargs) -> LiveService:
+        service = LiveService(databases, **config_kwargs)
+        started.append(service)
+        return service
+
+    yield factory
+    for service in started:
+        service.shutdown()
+
+
+class TestLifecycle:
+    def test_ping(self, live):
+        with live().client() as client:
+            assert client.ping() is True
+
+    def test_session_open_close(self, live):
+        with live().client() as client:
+            session = client.open_session(engine="compiled", method="early")
+            closed = client.close_session(session)
+            assert closed["session"] == session
+            with pytest.raises(ServiceError) as exc:
+                client.query(session, "q(X) :- edge(X, Y).")
+            assert exc.value.code == "unknown_session"
+
+    def test_unknown_database(self, live):
+        with live().client() as client:
+            with pytest.raises(ServiceError) as exc:
+                client.open_session(database="nope")
+            assert exc.value.code == "unknown_database"
+
+    def test_unknown_op(self, live):
+        with live().client() as client:
+            with pytest.raises(ServiceError) as exc:
+                client.request("frobnicate")
+            assert exc.value.code == "unknown_op"
+
+    def test_session_limit(self, live):
+        with live(max_sessions=1).client() as client:
+            client.open_session()
+            with pytest.raises(ServiceError) as exc:
+                client.open_session()
+            assert exc.value.code == "overloaded"
+
+    def test_malformed_line_gets_error_response(self, live):
+        server = live()
+        with socket.create_connection(("127.0.0.1", server.port), timeout=10) as sock:
+            sock.sendall(b"this is not json\n")
+            response = json.loads(sock.makefile("rb").readline())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "parse_error"
+
+
+class TestQueries:
+    def test_query_round_trip(self, live):
+        with live().client() as client:
+            session = client.open_session()
+            answer = client.query(session, "q(X) :- edge(X, Y), edge(Y, X).")
+            assert answer["cached"] is False
+            # Columns are the canonical (positional) head variables.
+            assert len(answer["columns"]) == 1
+            assert {tuple(row) for row in answer["rows"]} == {(1,), (2,), (3,)}
+
+    def test_same_shape_different_constants_hits_cache(self, live):
+        server = live()
+        with server.client() as client:
+            session = client.open_session(engine="compiled")
+            first = client.query(session, "q(X) :- graph(2, X), graph(X, Y).")
+            assert first["cached"] is False
+            second = client.query(session, "q(X) :- graph(5, X), graph(X, Y).")
+            assert second["cached"] is True
+            assert second["statement"] == first["statement"]
+            # The shape cache hit means no second plan; the compiled-unit
+            # cache retained every unit across the rebind.
+            info = client.stats_snapshot()["databases"]["default"]
+            assert info["prepared"]["hits"] >= 1
+            assert info["prepared"]["misses"] == 1
+            assert info["engines"]["compiled"]["hits"] > 0
+
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_served_rows_match_direct_evaluate(self, live, engine):
+        rules = [
+            "q(X) :- edge(X, Y), edge(Y, Z), edge(Z, X).",
+            "q(X) :- graph(2, X), graph(X, Y).",
+            "q(X, Y) :- graph(X, Y), graph(Y, 4).",
+        ]
+        server = live()
+        with server.client() as client:
+            session = client.open_session(engine=engine)
+            for rule in rules:
+                served = client.query(session, rule)
+                expected, _ = evaluate(
+                    plan_query(parse_rule(rule), "bucket", rng=random.Random(0)),
+                    service_database(),
+                    engine=engine,
+                )
+                assert {tuple(row) for row in served["rows"]} == expected.rows, rule
+
+    def test_method_override_per_request(self, live):
+        with live().client() as client:
+            session = client.open_session(method="bucket")
+            answer = client.query(
+                session, "q(X) :- edge(X, Y), edge(Y, X).", method="early"
+            )
+            assert answer["cached"] is False  # different method = new statement
+
+    def test_syntax_error_maps_to_query_error(self, live):
+        with live().client() as client:
+            session = client.open_session()
+            with pytest.raises(ServiceError) as exc:
+                client.query(session, "this is not datalog")
+            assert exc.value.code == "query_error"
+
+    def test_unknown_relation(self, live):
+        with live().client() as client:
+            session = client.open_session()
+            with pytest.raises(ServiceError) as exc:
+                client.query(session, "q(X) :- nothere(X, Y).")
+            assert exc.value.code == "unknown_relation"
+
+
+class TestPreparedExecution:
+    def test_prepare_then_execute_with_params(self, live):
+        with live().client() as client:
+            session = client.open_session(engine="vectorized")
+            prepared = client.prepare(session, "q(X) :- graph(2, X), graph(X, Y).")
+            assert prepared["params"] == 1
+            assert prepared["default_params"] == [2]
+            for anchor in (2, 5, 2):
+                answer = client.execute(session, prepared["statement"], [anchor])
+                rule = f"q(X) :- graph({anchor}, X), graph(X, Y)."
+                expected, _ = evaluate(
+                    plan_query(parse_rule(rule), "bucket", rng=random.Random(0)),
+                    service_database(),
+                )
+                assert {tuple(r) for r in answer["rows"]} == expected.rows
+
+    def test_execute_unknown_statement(self, live):
+        with live().client() as client:
+            session = client.open_session()
+            with pytest.raises(ServiceError) as exc:
+                client.execute(session, 12345, [])
+            assert exc.value.code == "unknown_statement"
+
+    def test_execute_wrong_arity(self, live):
+        with live().client() as client:
+            session = client.open_session()
+            prepared = client.prepare(session, "q(X) :- graph(2, X).")
+            with pytest.raises(ServiceError) as exc:
+                client.execute(session, prepared["statement"], [1, 2])
+            assert exc.value.code == "bad_request"
+
+    def test_non_scalar_params_rejected(self, live):
+        with live().client() as client:
+            session = client.open_session()
+            prepared = client.prepare(session, "q(X) :- graph(2, X).")
+            with pytest.raises(ServiceError) as exc:
+                client.execute(session, prepared["statement"], [[1]])
+            assert exc.value.code == "bad_request"
+
+    def test_statements_shared_across_sessions(self, live):
+        with live().client() as client:
+            one = client.open_session(engine="interpreted")
+            two = client.open_session(engine="compiled")
+            p1 = client.prepare(one, "q(X) :- graph(3, X).")
+            p2 = client.prepare(two, "q(X) :- graph(6, X).")
+            assert p1["statement"] == p2["statement"]
+            assert p2["cached"] is True
+
+
+class TestUpdates:
+    def test_update_visible_to_queries(self, live):
+        with live().client() as client:
+            session = client.open_session()
+            before = client.query(session, "q(X) :- graph(50, X).")
+            assert before["rows"] == []
+            updated = client.update(session, "graph", insert=[[50, 60]])
+            assert updated["inserted"] == 1
+            after = client.execute(session, before["statement"], [50])
+            assert [list(r) for r in after["rows"]] == [[60]]
+            deleted = client.update(session, "graph", delete=[[50, 60]])
+            assert deleted["deleted"] == 1
+
+    def test_update_bumps_version_only_on_change(self, live):
+        with live().client() as client:
+            session = client.open_session()
+            first = client.update(session, "graph", insert=[[50, 60]])
+            second = client.update(session, "graph", insert=[[50, 60]])
+            assert second["inserted"] == 0
+            assert second["version"] == first["version"]  # no-op delta
+
+    def test_update_unknown_relation(self, live):
+        with live().client() as client:
+            session = client.open_session()
+            with pytest.raises(ServiceError) as exc:
+                client.update(session, "nothere", insert=[[1, 2]])
+            assert exc.value.code == "unknown_relation"
+
+
+class TestAdmissionControl:
+    def test_request_timeout_zero_expires_in_queue(self, live):
+        with live().client() as client:
+            session = client.open_session()
+            with pytest.raises(ServiceError) as exc:
+                client.request(
+                    "query",
+                    session=session,
+                    rule="q(X) :- edge(X, Y).",
+                    timeout=0,
+                )
+            assert exc.value.code == "timeout"
+
+    def test_stats_snapshot_shape(self, live):
+        server = live()
+        with server.client() as client:
+            session = client.open_session()
+            client.query(session, "q(X) :- edge(X, Y).")
+            snap = client.stats_snapshot()
+        assert snap["sessions"] == 1
+        service_block = snap["service"]
+        assert service_block["requests"] >= 3
+        assert "query_cold" in service_block["latency"]
+        assert snap["config"]["queue_limit"] == 256
+        database_block = snap["databases"]["default"]
+        assert database_block["plans_by_method"] == {"bucket": 1}
+        assert database_block["prepared"]["entries"] == 1

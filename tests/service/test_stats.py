@@ -1,0 +1,80 @@
+"""Telemetry accounting: latency windows, counters, snapshots."""
+
+from repro.service.stats import PERCENTILES, LatencyRecorder, ServiceStats
+
+
+class TestLatencyRecorder:
+    def test_empty_snapshot(self):
+        snap = LatencyRecorder().snapshot()
+        assert snap["count"] == 0
+        assert snap["mean_s"] == 0.0
+        assert all(snap[f"p{p}_s"] == 0.0 for p in PERCENTILES)
+
+    def test_percentiles_ordered(self):
+        recorder = LatencyRecorder()
+        for ms in range(1, 101):
+            recorder.record(ms / 1000)
+        snap = recorder.snapshot()
+        assert snap["p50_s"] <= snap["p95_s"] <= snap["p99_s"]
+        assert abs(snap["p50_s"] - 0.050) < 0.005
+
+    def test_single_sample(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.25)
+        snap = recorder.snapshot()
+        assert snap["p50_s"] == snap["p99_s"] == 0.25
+
+    def test_window_bounds_samples_but_not_count(self):
+        recorder = LatencyRecorder(window=4)
+        for _ in range(10):
+            recorder.record(1.0)
+        recorder.record(2.0)
+        assert recorder.count == 11  # lifetime
+        assert len(recorder._samples) == 4  # windowed
+        # Old 1.0s samples fell out: percentiles reflect recent traffic.
+        assert recorder.percentile(99) == 2.0
+
+
+class TestServiceStats:
+    def test_request_and_op_counters(self):
+        stats = ServiceStats()
+        stats.record_request("query")
+        stats.record_request("query")
+        stats.record_request("ping")
+        snap = stats.snapshot()
+        assert snap["requests"] == 3
+        assert snap["ops"] == {"query": 2, "ping": 1}
+
+    def test_error_codes_feed_special_counters(self):
+        stats = ServiceStats()
+        stats.record_error("timeout")
+        stats.record_error("overloaded")
+        stats.record_error("bad_request")
+        snap = stats.snapshot()
+        assert snap["timeouts"] == 1
+        assert snap["admission_rejections"] == 1
+        assert snap["errors"]["bad_request"] == 1
+
+    def test_latency_classes_created_on_first_use(self):
+        stats = ServiceStats()
+        assert stats.latency("query_warm") is None
+        stats.record_latency("query_warm", 0.002)
+        assert stats.latency("query_warm").count == 1
+        assert "query_warm" in stats.snapshot()["latency"]
+
+    def test_batch_accounting(self):
+        stats = ServiceStats()
+        stats.record_batch(4)
+        stats.record_batch(2)
+        snap = stats.snapshot()
+        assert snap["batches"] == 2
+        assert snap["batched_requests"] == 6
+        assert snap["mean_batch_size"] == 3.0
+
+    def test_queue_peak_is_sticky(self):
+        stats = ServiceStats()
+        stats.set_queue_depth(5)
+        stats.set_queue_depth(2)
+        snap = stats.snapshot()
+        assert snap["queue_depth"] == 2
+        assert snap["queue_peak"] == 5

@@ -163,3 +163,51 @@ class TestProgramCommand:
             ["program", str(path), "--join-algorithm", "sort_merge", "--no-plan-cache"]
         ) == 0
         assert "3 rows" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_subcommand_registered(self):
+        args = build_argument_parser().parse_args(["serve"])
+        assert args.command == "serve"
+
+    def test_serve_defaults(self):
+        args = build_argument_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7411
+        assert args.db == []
+        assert args.edge_db == []
+        assert args.queue_limit == 256
+        assert args.request_timeout == 30.0
+        assert args.batch_max == 16
+        assert args.max_sessions == 1024
+        assert args.prepared_cache_size == 256
+        assert args.default_engine == "interpreted"
+        assert args.default_method == "bucket"
+
+    def test_serve_flags_parse(self):
+        args = build_argument_parser().parse_args(
+            [
+                "serve",
+                "--port", "0",
+                "--db", "a=dir1",
+                "--db", "b=dir2",
+                "--edge-db", "colors",
+                "--default-engine", "vectorized",
+                "--default-method", "early",
+            ]
+        )
+        assert args.port == 0
+        assert args.db == ["a=dir1", "b=dir2"]
+        assert args.edge_db == ["colors"]
+        assert args.default_engine == "vectorized"
+        assert args.default_method == "early"
+
+    def test_serve_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_argument_parser().parse_args(
+                ["serve", "--default-engine", "nope"]
+            )
+
+    def test_serve_bad_db_spec_exits_2(self, capsys):
+        assert main(["serve", "--db", "no-separator"]) == 2
+        assert "NAME=DIR" in capsys.readouterr().err
