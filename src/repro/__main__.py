@@ -160,6 +160,16 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "--default-method", choices=METHODS, default="bucket",
         help="planning method for sessions that do not pick one",
     )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for the multi-process pool backend "
+        "(0 = legacy in-process execution)",
+    )
+    serve_cmd.add_argument(
+        "--replicas", type=int, default=1,
+        help="read replicas per database in pool mode "
+        "(clamped to workers-1; ignored when --workers 0)",
+    )
     return parser
 
 
@@ -322,6 +332,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         prepared_cache_size=args.prepared_cache_size,
         default_engine=args.default_engine,
         default_method=args.default_method,
+        workers=args.workers,
+        replicas=args.replicas,
     )
     service = QueryService(databases, config)
 

@@ -17,26 +17,39 @@ sustained concurrent traffic (the ROADMAP's north star).  It provides:
   entries (PR 7's selective retention doing the work);
 - a bounded admission queue with request batching and per-request
   queue-wait timeouts;
+- a multi-process worker pool backend (:mod:`repro.service.pool` /
+  :mod:`repro.service.worker`): database-affinity sharding across N
+  worker processes, primary/replica read routing with read-your-writes
+  gating, cross-process reuse of canonical query shapes, and crash
+  detection with respawn-from-snapshot (``ServiceConfig.workers``;
+  ``0`` keeps the legacy in-process executor);
 - :class:`ServiceStats` (:mod:`repro.service.stats`): per-operation
   latency percentiles, shape-cache and engine-cache hit rates, queue
-  depth, and per-method planning telemetry, surfaced via the ``stats``
-  introspection op.
+  depth, per-method planning telemetry, and — in pool mode — per-worker
+  dispatch counts and replica-lag gauges, surfaced via the ``stats``
+  introspection op (whose ``reset`` flag zeroes the window).
 
 See ``docs/SERVICE.md`` for the protocol spec and a worked client
 example; ``benchmarks/bench_pr8_service.py`` is the concurrent traffic
-driver that produces the checked-in ``BENCH_PR8.json``.
+driver that produces the checked-in ``BENCH_PR8.json``, and
+``benchmarks/bench_pr10_pool.py`` drives the same workload through the
+pool backend for ``BENCH_PR10.json``.
 """
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import ServiceClient, ServiceError, ServiceRetryableError
+from repro.service.pool import WorkerHandle, WorkerPool, plan_assignments
 from repro.service.prepared import (
     PreparedStatement,
     PreparedStatementCache,
     QueryShape,
     canonicalize_query,
+    shape_from_wire,
+    shape_to_wire,
 )
 from repro.service.protocol import (
     ERROR_CODES,
     MAX_LINE_BYTES,
+    RETRYABLE_CODES,
     ProtocolError,
     decode_line,
     encode_message,
@@ -56,14 +69,21 @@ __all__ = [
     "ProtocolError",
     "QueryService",
     "QueryShape",
+    "RETRYABLE_CODES",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "ServiceRetryableError",
     "ServiceStats",
     "Session",
+    "WorkerHandle",
+    "WorkerPool",
     "canonicalize_query",
     "decode_line",
     "encode_message",
     "error_response",
     "ok_response",
+    "plan_assignments",
+    "shape_from_wire",
+    "shape_to_wire",
 ]

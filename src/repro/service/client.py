@@ -3,9 +3,16 @@
 The protocol is just newline-delimited JSON over TCP, so this is a thin
 convenience wrapper: one socket, one request in flight at a time,
 ``dict`` in / ``dict`` out.  Error responses raise :class:`ServiceError`
-carrying the wire error code.  The concurrent benchmark driver uses raw
-asyncio streams instead; this class is for tests, scripts, and the
-worked example in docs/SERVICE.md::
+carrying the wire error code; codes the server marks transient
+(:data:`~repro.service.protocol.RETRYABLE_CODES`) raise the
+:class:`ServiceRetryableError` subclass so callers can catch exactly
+the failures worth retrying.  A dropped connection is handled the same
+way: the client reconnects with bounded exponential backoff and — since
+the fate of the in-flight request is unknowable — surfaces it as a
+retryable ``connection_lost`` error rather than silently resending.
+The concurrent benchmark driver uses raw asyncio streams instead; this
+class is for tests, scripts, and the worked example in
+docs/SERVICE.md::
 
     with ServiceClient("127.0.0.1", 7411) as client:
         session = client.open_session(engine="compiled")
@@ -16,9 +23,15 @@ worked example in docs/SERVICE.md::
 from __future__ import annotations
 
 import socket
+import time
 from typing import Any
 
-from repro.service.protocol import MAX_LINE_BYTES, decode_line, encode_message
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    RETRYABLE_CODES,
+    decode_line,
+    encode_message,
+)
 
 
 class ServiceError(Exception):
@@ -30,17 +43,92 @@ class ServiceError(Exception):
         self.message = message
 
 
+class ServiceRetryableError(ServiceError):
+    """A transient failure: a :data:`RETRYABLE_CODES` response, or a
+    connection that died with the request's fate unknown (``code`` is
+    then ``connection_lost``).  Reads are always safe to retry; a
+    retried write must tolerate having already half-run only for
+    ``connection_lost`` — the server-side retryable codes all guarantee
+    the write is not durable."""
+
+
+def _raise_for(code: str, message: str) -> None:
+    if code in RETRYABLE_CODES:
+        raise ServiceRetryableError(code, message)
+    raise ServiceError(code, message)
+
+
 class ServiceClient:
-    """Blocking, single-connection client (not thread-safe)."""
+    """Blocking, single-connection client (not thread-safe).
+
+    ``connect_timeout`` bounds each TCP connection attempt (initial and
+    reconnect); ``timeout`` is the per-response socket timeout.  When
+    the connection drops, up to ``reconnect_attempts`` re-dials are made
+    with exponential backoff starting at ``reconnect_backoff`` seconds.
+    """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 30.0,
+        connect_timeout: float = 10.0,
+        reconnect_attempts: int = 3,
+        reconnect_backoff: float = 0.1,
     ) -> None:
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rb")
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.reconnect_attempts = max(0, reconnect_attempts)
+        self.reconnect_backoff = reconnect_backoff
+        self.reconnects = 0
         self._next_id = 1
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+        self._sock.settimeout(self.timeout)
+        self._file = self._sock.makefile("rb")
+
+    def _teardown(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._file = self._sock = None
+
+    def _reconnect(self) -> None:
+        """Re-dial with bounded exponential backoff; raises
+        :class:`ServiceRetryableError` when every attempt fails."""
+        self._teardown()
+        delay = self.reconnect_backoff
+        last: Exception | None = None
+        for _ in range(self.reconnect_attempts):
+            try:
+                self._connect()
+            except OSError as exc:
+                last = exc
+                time.sleep(delay)
+                delay *= 2
+                continue
+            self.reconnects += 1
+            return
+        raise ServiceRetryableError(
+            "connection_lost",
+            f"could not reconnect to {self.host}:{self.port} after "
+            f"{self.reconnect_attempts} attempt(s): {last}",
+        )
 
     # ------------------------------------------------------------------
     # Core request/response
@@ -49,20 +137,36 @@ class ServiceClient:
         """Send one request and block for its response.
 
         Returns the response dict on success; raises
-        :class:`ServiceError` when the server answered ``ok: false``.
+        :class:`ServiceError` when the server answered ``ok: false``
+        (:class:`ServiceRetryableError` for transient codes).  If the
+        connection dies mid-request the client reconnects (with
+        backoff) and raises a retryable ``connection_lost`` error — the
+        caller decides whether re-issuing is safe, because the server
+        may or may not have executed the lost request.
         """
+        if self._sock is None:
+            self._reconnect()
         request_id = self._next_id
         self._next_id += 1
         message = {"op": op, "id": request_id}
         message.update(fields)
-        self._sock.sendall(encode_message(message))
-        line = self._file.readline(MAX_LINE_BYTES + 2)
-        if not line:
-            raise ConnectionError("server closed the connection")
+        try:
+            self._sock.sendall(encode_message(message))
+            line = self._file.readline(MAX_LINE_BYTES + 2)
+            if not line:
+                raise ConnectionResetError("server closed the connection")
+        except (ConnectionResetError, BrokenPipeError, socket.timeout, OSError) as exc:
+            detail = f"{type(exc).__name__}: {exc}"
+            self._reconnect()
+            raise ServiceRetryableError(
+                "connection_lost",
+                f"connection lost mid-request ({detail}); reconnected, but "
+                "the request's fate is unknown",
+            ) from exc
         response = decode_line(line)
         if not response.get("ok"):
             error = response.get("error") or {}
-            raise ServiceError(
+            _raise_for(
                 error.get("code", "internal"), error.get("message", "unknown")
             )
         return response
@@ -131,14 +235,17 @@ class ServiceClient:
     def stats_snapshot(self) -> dict:
         return self.request("stats")["stats"]
 
+    def reset_stats(self) -> dict:
+        """Fetch the final pre-reset stats snapshot, then zero the
+        server's counters and latency windows (``stats`` with the
+        ``reset`` flag)."""
+        return self.request("stats", reset=True)["stats"]
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -147,4 +254,4 @@ class ServiceClient:
         self.close()
 
 
-__all__ = ["ServiceClient", "ServiceError"]
+__all__ = ["ServiceClient", "ServiceError", "ServiceRetryableError"]

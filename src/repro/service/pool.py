@@ -1,0 +1,651 @@
+"""Multi-process engine worker pool: sharding, routing, replication.
+
+This is the parent-side half of the pool backend (the child side is
+``repro.service.worker``).  A :class:`WorkerPool` owns N worker
+processes connected over loopback TCP with length-prefixed pickle
+frames, and gives the front end three things:
+
+**Database-affinity sharding.**  Databases are assigned to workers by
+sorted name: database *i* gets worker ``i % N`` as its *primary* and the
+next ``K`` workers (mod N) as read *replicas*.  Every write for a
+database — ``update`` deltas and the catalog version bumps they imply —
+runs on its primary, so per-database write order is simply the
+primary's FIFO queue order.  Reads fan out across primary + replicas.
+
+**Replica sync with read-your-writes.**  The pool stamps each write
+with a per-database monotonic sequence number.  After the primary acks
+a write, the front end mirrors the delta into its own authoritative
+catalog copy and the pool forwards an ``apply`` frame to each replica;
+a replica's ack advances its ``applied_seq`` for that database.  A read
+that must observe a session's writes carries the highest sequence
+number that session wrote to any scanned relation, and only workers
+whose ``applied_seq`` has reached it are eligible — the primary always
+is, because its queue already ordered the write before the read.  Other
+sessions' reads are free to hit any replica (monotonic, possibly
+slightly stale — the same contract a read replica gives you anywhere).
+
+**Failure semantics.**  The pump detects a worker crash as EOF (or an
+IPC error) on its socket.  The in-flight request fails with the
+retryable ``worker_failed`` error code — for a write this means *not
+durable*: the front-end mirror is only updated after the primary acks,
+so a failed write is absent from every copy.  Queued requests stay
+queued; the worker is respawned from a snapshot of the front end's
+catalog copies (which, being mirror-on-ack, already contain every
+forwarded delta — replaying still-queued ``apply`` frames afterwards is
+an idempotent no-op because deltas are set-semantic row operations).
+
+Everything here runs on the service's single asyncio loop; state reads
+like routing tables and sequence counters never race with mutation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import pickle
+import secrets
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.service.worker import FRAME_HEADER, MAX_FRAME_BYTES, worker_main
+
+#: Seconds a worker may stay idle before the pump sends a health ping.
+HEALTH_INTERVAL = 15.0
+
+#: Hard ceiling on one request's time *inside* a worker.  This is a
+#: backstop against a wedged child (the per-request queue-wait deadline
+#: is enforced separately, at dequeue); hitting it is treated exactly
+#: like a crash.
+HARD_REQUEST_TIMEOUT = 300.0
+
+#: Handshake budget for a freshly spawned process (spawn imports the
+#: whole package from scratch).
+SPAWN_TIMEOUT = 60.0
+
+
+@dataclass
+class PoolRequest:
+    """One unit of work queued for a worker.
+
+    ``future`` is resolved with the worker's raw response dict (the
+    front end translates it onto the wire protocol); internal replica
+    ``apply`` frames carry ``future=None``.  ``db``/``seq`` are set on
+    write traffic so the pump can advance replication watermarks.
+    """
+
+    frame: dict
+    future: asyncio.Future | None
+    deadline: float | None = None
+    request_id: Any = None
+    db: str | None = None
+    seq: int = 0
+
+
+@dataclass
+class WorkerHandle:
+    """Parent-side view of one worker process."""
+
+    worker_id: int
+    process: multiprocessing.process.BaseProcess | None = None
+    reader: asyncio.StreamReader | None = None
+    writer: asyncio.StreamWriter | None = None
+    queue: asyncio.Queue = field(default_factory=asyncio.Queue)
+    #: Replication watermark: highest write sequence applied, per db.
+    applied_seq: dict[str, int] = field(default_factory=dict)
+    inflight: PoolRequest | None = None
+    dispatched: int = 0
+    completed: int = 0
+    errors: int = 0
+    respawns: int = 0
+    pid: int | None = None
+
+    @property
+    def outstanding(self) -> int:
+        return self.queue.qsize() + (1 if self.inflight is not None else 0)
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+def plan_assignments(
+    databases: list[str], workers: int, replicas: int
+) -> dict[str, tuple[int, tuple[int, ...]]]:
+    """Map each database to ``(primary, replicas)`` worker ids.
+
+    Databases are taken in sorted order so the layout is a pure function
+    of the catalog set; replicas are the next ``replicas`` workers after
+    the primary (mod N), clamped so a worker never replicates itself.
+
+    >>> plan_assignments(["a", "b", "c"], 2, 1)
+    {'a': (0, (1,)), 'b': (1, (0,)), 'c': (0, (1,))}
+    >>> plan_assignments(["a"], 1, 3)
+    {'a': (0, ())}
+    """
+    effective = max(0, min(replicas, workers - 1))
+    out: dict[str, tuple[int, tuple[int, ...]]] = {}
+    for index, name in enumerate(sorted(databases)):
+        primary = index % workers
+        out[name] = (
+            primary,
+            tuple((primary + 1 + r) % workers for r in range(effective)),
+        )
+    return out
+
+
+def choose_reader(
+    candidates: list[WorkerHandle],
+    db: str,
+    need_seq: int,
+    primary_id: int,
+    rotation: int,
+) -> tuple[WorkerHandle, bool]:
+    """Pick the least-loaded worker allowed to serve this read.
+
+    A candidate is *eligible* when it has applied every write the
+    session needs to observe (``applied_seq[db] >= need_seq``); the
+    primary is always eligible because its FIFO queue ordered those
+    writes ahead of this read.  Among eligible workers the one with the
+    fewest outstanding requests wins, with ``rotation`` breaking ties so
+    equally-idle replicas share the load.  Returns ``(handle, gated)``
+    where ``gated`` records that staleness excluded at least one
+    replica (a telemetry signal for replica lag).
+    """
+    eligible = [
+        h
+        for h in candidates
+        if h.worker_id == primary_id or h.applied_seq.get(db, 0) >= need_seq
+    ]
+    gated = len(eligible) < len(candidates)
+    order = len(candidates)
+    return (
+        min(
+            eligible,
+            key=lambda h: (h.outstanding, (h.worker_id - rotation) % order),
+        ),
+        gated,
+    )
+
+
+class WorkerPool:
+    """N worker processes plus the router/replication state over them.
+
+    The pool does not speak the client protocol and knows nothing about
+    sessions; the front end (``QueryService``) computes each read's
+    required sequence number and calls :meth:`route_read` /
+    :meth:`submit` / :meth:`forward_apply`.  ``snapshot_databases`` is
+    the front end's callback returning its current authoritative
+    catalog copies, used to bootstrap spawns and respawns.
+    """
+
+    def __init__(
+        self,
+        databases: list[str],
+        workers: int,
+        replicas: int,
+        snapshot_databases: Callable[[int], dict],
+        *,
+        queue_limit: int = 256,
+        prepared_cache_size: int = 256,
+        plan_cache_size: int = 256,
+        health_interval: float = HEALTH_INTERVAL,
+        hard_timeout: float = HARD_REQUEST_TIMEOUT,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a worker pool needs at least one worker")
+        self.workers = workers
+        self.replicas = max(0, min(replicas, workers - 1))
+        self.assignments = plan_assignments(databases, workers, self.replicas)
+        self._snapshot_databases = snapshot_databases
+        self._queue_limit = queue_limit
+        self._config = {
+            "prepared_cache_size": prepared_cache_size,
+            "plan_cache_size": plan_cache_size,
+        }
+        self._health_interval = health_interval
+        self._hard_timeout = hard_timeout
+        self.handles = [WorkerHandle(i) for i in range(workers)]
+        self.write_seq: dict[str, int] = {name: 0 for name in databases}
+        self._queued = 0  # client requests across all queues (applies exempt)
+        self._rotation: dict[str, int] = {name: 0 for name in databases}
+        self.reads_primary = 0
+        self.reads_replica = 0
+        self.read_gate_fallbacks = 0
+        self.worker_failures = 0
+        self._secret = secrets.token_hex(16)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._port: int | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._pumps: list[asyncio.Task] = []
+        self._stopping = False
+        self._mp = multiprocessing.get_context("spawn")
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the internal listener, spawn every worker, start pumps."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._on_connect, host="127.0.0.1", port=0
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        await asyncio.gather(*(self._spawn(h) for h in self.handles))
+        self._pumps = [
+            self._loop.create_task(self._pump(h), name=f"pool-pump-{h.worker_id}")
+            for h in self.handles
+        ]
+
+    async def stop(self) -> None:
+        """Fail queued work, kill pumps and processes, close the listener."""
+        self._stopping = True
+        for task in self._pumps:
+            task.cancel()
+        for task in self._pumps:
+            # Python 3.11's wait_for can swallow a cancellation that
+            # races with the inner future completing (bpo-37658); the
+            # pump re-checks _stopping for that case, and the bound
+            # here keeps stop() finite even if a pump wedges anyway.
+            try:
+                await asyncio.wait_for(task, timeout=10.0)
+            except (asyncio.CancelledError, Exception):
+                pass
+        for handle in self.handles:
+            self._fail_inflight(handle, "shutdown", "server is stopping")
+            self._drain_queue(handle, "shutdown", "server is stopping")
+            await self._close_transport(handle)
+            if handle.process is not None and handle.process.is_alive():
+                handle.process.terminate()
+        for handle in self.handles:
+            if handle.process is not None:
+                handle.process.join(timeout=5.0)
+                if handle.process.is_alive():
+                    handle.process.kill()
+                    handle.process.join(timeout=5.0)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _on_connect(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Accept a worker's connect-back and hand it to the waiting spawn."""
+        try:
+            hello = await asyncio.wait_for(self._read_frame(reader), timeout=10.0)
+        except Exception:
+            writer.close()
+            return
+        if (
+            not isinstance(hello, dict)
+            or hello.get("kind") != "hello"
+            or hello.get("secret") != self._secret
+        ):
+            writer.close()
+            return
+        pending = self._pending.pop(hello.get("worker"), None)
+        if pending is None or pending.done():
+            writer.close()
+            return
+        pending.set_result((reader, writer, hello.get("pid")))
+
+    async def _spawn(self, handle: WorkerHandle) -> None:
+        """Start one worker process and bootstrap it from the front end's
+        current catalog state."""
+        assert self._loop is not None and self._port is not None
+        ready: asyncio.Future = self._loop.create_future()
+        self._pending[handle.worker_id] = ready
+        handle.process = self._mp.Process(
+            target=worker_main,
+            args=("127.0.0.1", self._port, handle.worker_id, self._secret),
+            daemon=True,
+            name=f"repro-pool-worker-{handle.worker_id}",
+        )
+        handle.process.start()
+        try:
+            reader, writer, pid = await asyncio.wait_for(
+                ready, timeout=SPAWN_TIMEOUT
+            )
+        except (asyncio.TimeoutError, asyncio.CancelledError):
+            self._pending.pop(handle.worker_id, None)
+            if handle.process.is_alive():
+                handle.process.terminate()
+            raise
+        handle.reader, handle.writer, handle.pid = reader, writer, pid
+        # Snapshot and watermark capture happen back-to-back with no
+        # await between them, so the sequence numbers describe exactly
+        # the state being pickled (the loop cannot interleave a write).
+        hosted = self._hosted(handle.worker_id)
+        databases = self._snapshot_databases(handle.worker_id)
+        handle.applied_seq = {name: self.write_seq[name] for name in hosted}
+        await self._send_frame(
+            handle,
+            {"kind": "bootstrap", "databases": databases, "config": self._config},
+        )
+
+    def _hosted(self, worker_id: int) -> list[str]:
+        """Database names this worker serves (as primary or replica)."""
+        return [
+            name
+            for name, (primary, reps) in self.assignments.items()
+            if worker_id == primary or worker_id in reps
+        ]
+
+    # -- framing ------------------------------------------------------
+
+    async def _send_frame(self, handle: WorkerHandle, frame: dict) -> None:
+        assert handle.writer is not None
+        data = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.writer.write(FRAME_HEADER.pack(len(data)) + data)
+        await handle.writer.drain()
+
+    async def _read_frame(self, reader: asyncio.StreamReader):
+        header = await reader.readexactly(FRAME_HEADER.size)
+        (length,) = FRAME_HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise EOFError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+        return pickle.loads(await reader.readexactly(length))
+
+    async def _close_transport(self, handle: WorkerHandle) -> None:
+        if handle.writer is not None:
+            handle.writer.close()
+            try:
+                await handle.writer.wait_closed()
+            except Exception:
+                pass
+        handle.reader = handle.writer = None
+
+    # -- routing and submission ---------------------------------------
+
+    @property
+    def queued(self) -> int:
+        """Client requests currently waiting across all worker queues."""
+        return self._queued
+
+    def primary(self, db: str) -> WorkerHandle:
+        return self.handles[self.assignments[db][0]]
+
+    def next_seq(self, db: str) -> int:
+        self.write_seq[db] += 1
+        return self.write_seq[db]
+
+    def route_read(self, db: str, need_seq: int) -> WorkerHandle:
+        """Pick a worker for a read that must observe ``need_seq``."""
+        primary_id, replica_ids = self.assignments[db]
+        candidates = [self.handles[primary_id]] + [
+            self.handles[r] for r in replica_ids
+        ]
+        self._rotation[db] = (self._rotation[db] + 1) % max(1, len(candidates))
+        handle, gated = choose_reader(
+            candidates, db, need_seq, primary_id, self._rotation[db]
+        )
+        if gated:
+            self.read_gate_fallbacks += 1
+        if handle.worker_id == primary_id:
+            self.reads_primary += 1
+        else:
+            self.reads_replica += 1
+        return handle
+
+    def submit(self, handle: WorkerHandle, item: PoolRequest) -> bool:
+        """Enqueue client work; ``False`` means the pool is at its global
+        admission limit (the caller answers ``overloaded``)."""
+        if self._queued >= self._queue_limit:
+            return False
+        self._queued += 1
+        handle.queue.put_nowait(item)
+        return True
+
+    def forward_apply(
+        self, db: str, relation: str, insert: list, delete: list, seq: int
+    ) -> None:
+        """Fan a committed delta out to the database's replicas.
+
+        Internal traffic: exempt from the admission limit (dropping an
+        apply would wedge the replica's watermark forever) and carries
+        no future — the pump advances ``applied_seq`` on ack.
+        """
+        frame = {
+            "kind": "apply",
+            "db": db,
+            "relation": relation,
+            "insert": insert,
+            "delete": delete,
+            "seq": seq,
+        }
+        for replica_id in self.assignments[db][1]:
+            self.handles[replica_id].queue.put_nowait(
+                PoolRequest(frame=frame, future=None, db=db, seq=seq)
+            )
+
+    def record_commit(self, db: str, seq: int, handle: WorkerHandle) -> None:
+        """Note that ``handle`` (the primary) has applied write ``seq``
+        and the front-end mirror is updated."""
+        if seq > handle.applied_seq.get(db, 0):
+            handle.applied_seq[db] = seq
+
+    # -- the per-worker pump ------------------------------------------
+
+    async def _pump(self, handle: WorkerHandle) -> None:
+        """Drain one worker's queue: strictly one frame in flight.
+
+        Deadlines are enforced at dequeue — a request that waited out
+        its budget in the queue fails with ``timeout`` *without ever
+        executing*.  Any transport or worker failure fails the in-flight
+        request with ``worker_failed`` and respawns the process from the
+        front end's current catalog state; queued work survives.
+        """
+        assert self._loop is not None
+        while not self._stopping:
+            try:
+                item = await asyncio.wait_for(
+                    handle.queue.get(), timeout=self._health_interval
+                )
+            except asyncio.TimeoutError:
+                if not await self._health_check(handle):
+                    await self._recover(handle)
+                continue
+            if self._stopping:
+                # stop() cancelled us but wait_for raced the dequeue and
+                # swallowed the CancelledError (3.11 bpo-37658); fail the
+                # item the way _drain_queue would and bail out.
+                if item.future is not None:
+                    self._queued -= 1
+                    if not item.future.done():
+                        item.future.set_result(
+                            {
+                                "ok": False,
+                                "code": "shutdown",
+                                "message": "server is stopping",
+                            }
+                        )
+                break
+            if item.future is not None:
+                self._queued -= 1
+                if item.future.done():  # client gave up (connection dropped)
+                    continue
+                if (
+                    item.deadline is not None
+                    and self._loop.time() > item.deadline
+                ):
+                    item.future.set_result(
+                        {
+                            "ok": False,
+                            "code": "timeout",
+                            "message": "request timed out waiting in the worker queue",
+                        }
+                    )
+                    continue
+            handle.inflight = item
+            handle.dispatched += 1
+            try:
+                await self._send_frame(handle, item.frame)
+                response = await asyncio.wait_for(
+                    self._read_frame(handle.reader), timeout=self._hard_timeout
+                )
+            except asyncio.CancelledError:
+                handle.inflight = None
+                raise
+            except Exception:
+                self._fail_inflight(
+                    handle,
+                    "worker_failed",
+                    f"worker {handle.worker_id} failed mid-request; "
+                    "the request may not have run",
+                )
+                await self._recover(handle)
+                continue
+            handle.inflight = None
+            handle.completed += 1
+            if not response.get("ok", False):
+                handle.errors += 1
+            if item.db is not None and response.get("ok", False):
+                if item.seq > handle.applied_seq.get(item.db, 0):
+                    handle.applied_seq[item.db] = item.seq
+            if item.future is not None and not item.future.done():
+                item.future.set_result(response)
+
+    async def _health_check(self, handle: WorkerHandle) -> bool:
+        if handle.reader is None or handle.writer is None:
+            return False
+        try:
+            await self._send_frame(handle, {"kind": "ping"})
+            response = await asyncio.wait_for(
+                self._read_frame(handle.reader), timeout=10.0
+            )
+            return bool(response.get("pong"))
+        except Exception:
+            return False
+
+    def _fail_inflight(self, handle: WorkerHandle, code: str, message: str) -> None:
+        item = handle.inflight
+        handle.inflight = None
+        if item is None:
+            return
+        handle.errors += 1
+        if item.future is not None and not item.future.done():
+            item.future.set_result({"ok": False, "code": code, "message": message})
+
+    def _drain_queue(self, handle: WorkerHandle, code: str, message: str) -> None:
+        while True:
+            try:
+                item = handle.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            if item.future is None:
+                continue
+            self._queued -= 1
+            if not item.future.done():
+                item.future.set_result(
+                    {"ok": False, "code": code, "message": message}
+                )
+
+    async def _recover(self, handle: WorkerHandle) -> None:
+        """Replace a dead worker, keeping its queue.
+
+        The bootstrap snapshot is taken from the front end's mirror
+        copies, which already include every delta that was ever
+        forwarded; still-queued ``apply`` frames re-run as idempotent
+        no-ops after the respawn.
+        """
+        self.worker_failures += 1
+        await self._close_transport(handle)
+        if handle.process is not None and handle.process.is_alive():
+            handle.process.terminate()
+            handle.process.join(timeout=5.0)
+        delay = 0.2
+        while not self._stopping:
+            try:
+                await self._spawn(handle)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, 5.0)
+                continue
+            handle.respawns += 1
+            return
+
+    # -- introspection ------------------------------------------------
+
+    def replica_lag(self) -> dict[str, int]:
+        """Worst-case applied-sequence lag per database across replicas."""
+        out: dict[str, int] = {}
+        for name, (_, replica_ids) in self.assignments.items():
+            head = self.write_seq[name]
+            out[name] = max(
+                (head - self.handles[r].applied_seq.get(name, 0) for r in replica_ids),
+                default=0,
+            )
+        return out
+
+    def snapshot(self) -> dict:
+        """JSON-ready pool block for the ``stats`` op."""
+        return {
+            "workers": {
+                str(h.worker_id): {
+                    "pid": h.pid,
+                    "alive": h.alive,
+                    "queue_depth": h.queue.qsize(),
+                    "inflight": h.inflight is not None,
+                    "dispatched": h.dispatched,
+                    "completed": h.completed,
+                    "errors": h.errors,
+                    "respawns": h.respawns,
+                    "applied_seq": dict(h.applied_seq),
+                }
+                for h in self.handles
+            },
+            "assignments": {
+                name: {"primary": primary, "replicas": list(reps)}
+                for name, (primary, reps) in sorted(self.assignments.items())
+            },
+            "write_seq": dict(self.write_seq),
+            "replica_lag": self.replica_lag(),
+            "queued": self._queued,
+            "reads_primary": self.reads_primary,
+            "reads_replica": self.reads_replica,
+            "read_gate_fallbacks": self.read_gate_fallbacks,
+            "worker_failures": self.worker_failures,
+        }
+
+    def reset_counters(self) -> None:
+        """Zero the dispatch/routing counters (gauges and replication
+        watermarks are state, not traffic, and are kept)."""
+        self.reads_primary = 0
+        self.reads_replica = 0
+        self.read_gate_fallbacks = 0
+        self.worker_failures = 0
+        for handle in self.handles:
+            handle.dispatched = 0
+            handle.completed = 0
+            handle.errors = 0
+
+
+async def wait_for_replicas(
+    pool: WorkerPool, db: str, seq: int, timeout: float = 30.0
+) -> bool:
+    """Block until every replica of ``db`` has applied ``seq`` (test and
+    benchmark helper; the service itself never needs to wait)."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    replica_ids = pool.assignments[db][1]
+    while loop.time() < deadline:
+        if all(
+            pool.handles[r].applied_seq.get(db, 0) >= seq for r in replica_ids
+        ):
+            return True
+        await asyncio.sleep(0.01)
+    return False
+
+
+__all__ = [
+    "HARD_REQUEST_TIMEOUT",
+    "HEALTH_INTERVAL",
+    "PoolRequest",
+    "WorkerHandle",
+    "WorkerPool",
+    "choose_reader",
+    "plan_assignments",
+    "wait_for_replicas",
+]

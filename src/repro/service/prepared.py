@@ -138,6 +138,60 @@ def _render_shape(template: ConjunctiveQuery, hole_count: int) -> str:
     return f"q({head}) :- {body}."
 
 
+def shape_to_wire(shape: QueryShape) -> dict:
+    """A compact, process-independent encoding of ``shape``.
+
+    This is what crosses the parent/worker IPC boundary in the pool
+    backend: the canonical template (whose terms are all plain strings —
+    constants were already lifted into ``p<i>`` hole variables), the
+    free-variable list, and the hole count.  Workers rebuild the shape
+    with :func:`shape_from_wire` and compile it locally, so plans are
+    never pickled across processes — only shapes are.
+    """
+    return {
+        "atoms": [
+            (atom.relation, tuple(atom.terms)) for atom in shape.template.atoms
+        ],
+        "free": tuple(shape.template.free_variables),
+        "holes": shape.hole_count,
+        "text": shape.text,
+    }
+
+
+def shape_from_wire(payload: dict) -> QueryShape:
+    """Rebuild a :class:`QueryShape` from :func:`shape_to_wire` output.
+
+    The reconstructed shape's ``key`` equals the original's: the wire
+    form *is* the canonical template, and the key is a pure function of
+    it.
+    """
+    atoms = tuple(
+        Atom(relation, tuple(terms)) for relation, terms in payload["atoms"]
+    )
+    free = tuple(payload["free"])
+    template = ConjunctiveQuery(atoms=atoms, free_variables=free)
+    hole_count = int(payload["holes"])
+    hole_names = {
+        f"{_HOLE_VARIABLE_PREFIX}{i}" for i in range(hole_count)
+    }
+    key_atoms = tuple(
+        (
+            atom.relation,
+            tuple(
+                ("hole", int(term[1:])) if term in hole_names else ("var", term)
+                for term in atom.terms
+            ),
+        )
+        for atom in atoms
+    )
+    return QueryShape(
+        key=(key_atoms, free),
+        template=template,
+        hole_count=hole_count,
+        text=payload.get("text") or _render_shape(template, hole_count),
+    )
+
+
 class PreparedStatement:
     """One planned (and, on the compiled engines, compiled) query shape.
 
@@ -309,4 +363,6 @@ __all__ = [
     "PreparedStatementCache",
     "QueryShape",
     "canonicalize_query",
+    "shape_from_wire",
+    "shape_to_wire",
 ]

@@ -35,9 +35,16 @@ ERROR_CODES = (
     "query_error",  # rule text rejected, or the plan is malformed
     "timeout",  # request exceeded its queue-wait deadline
     "overloaded",  # admission queue full; retry later
+    "worker_failed",  # a pool worker crashed with this request queued or
+    #                   in flight; the request may or may not have run —
+    #                   reads are safe to retry, writes are not durable
     "shutdown",  # server is stopping
     "internal",  # unexpected server-side failure
 )
+
+#: Codes a well-behaved client should treat as transient and retry with
+#: backoff (``ServiceClient`` raises them as ``ServiceRetryableError``).
+RETRYABLE_CODES = ("timeout", "overloaded", "worker_failed", "shutdown")
 
 
 class ProtocolError(Exception):
@@ -130,6 +137,7 @@ def error_response(request_id: Any, code: str, message: str) -> dict:
 __all__ = [
     "ERROR_CODES",
     "MAX_LINE_BYTES",
+    "RETRYABLE_CODES",
     "ProtocolError",
     "decode_line",
     "encode_message",

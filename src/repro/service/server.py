@@ -21,6 +21,13 @@ Architecture (see ``docs/SERVICE.md`` for the wire-level spec):
   preempted.
 - Cheap ops (``ping``, ``stats``, ``open_session``, ``close_session``)
   run inline on the event loop and never queue behind engine work.
+- With ``ServiceConfig.workers > 0`` the single-thread executor is
+  replaced by the multi-process pool backend (``repro.service.pool``):
+  canonicalization and statement bookkeeping stay here on the loop,
+  engine execution is dispatched to worker processes, writes commit on
+  each database's primary worker and are mirrored into this process's
+  authoritative catalog copy before being fanned out to read replicas.
+  ``workers = 0`` (the default) keeps the legacy in-process path.
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ import asyncio
 import contextlib
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.planner import METHODS
 from repro.core.query import ConjunctiveQuery
@@ -38,7 +45,12 @@ from repro.errors import CatalogError, PlanError, QueryStructureError, ReproErro
 from repro.relalg.compiled import DEFAULT_PLAN_CACHE_SIZE, ENGINE_NAMES, make_engine
 from repro.relalg.database import Database
 from repro.relalg.relation import Relation
-from repro.service.prepared import PreparedStatement, PreparedStatementCache
+from repro.service.pool import PoolRequest, WorkerPool
+from repro.service.prepared import (
+    PreparedStatement,
+    PreparedStatementCache,
+    shape_to_wire,
+)
 from repro.service.protocol import (
     MAX_LINE_BYTES,
     ProtocolError,
@@ -49,6 +61,7 @@ from repro.service.protocol import (
     request_field,
 )
 from repro.service.stats import ServiceStats
+from repro.service.worker import apply_catalog_delta
 
 #: Scalar types accepted as parameter values and update-row entries
 #: (everything Datalog constants can be, plus what JSON can carry).
@@ -70,6 +83,12 @@ class ServiceConfig:
     plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
     default_engine: str = "interpreted"
     default_method: str = "bucket"
+    #: Number of pool worker processes.  0 (the default) keeps the
+    #: legacy single-thread in-process executor.
+    workers: int = 0
+    #: Read replicas per database when the pool is on (clamped to
+    #: ``workers - 1``; ignored for ``workers = 0``).
+    replicas: int = 1
 
 
 @dataclass
@@ -81,6 +100,9 @@ class Session:
     engine: str
     method: str
     requests: int = 0
+    #: Pool mode only: highest write sequence this session produced per
+    #: relation, used to gate replica reads for read-your-writes.
+    writes: dict[str, int] = field(default_factory=dict)
 
 
 class _RequestError(Exception):
@@ -245,6 +267,25 @@ class QueryService:
         self._executor: ThreadPoolExecutor | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stopping = False
+        self._pool: WorkerPool | None = None
+        if self.config.workers > 0:
+            self._pool = WorkerPool(
+                sorted(self.hosts),
+                self.config.workers,
+                self.config.replicas,
+                self._snapshot_databases_for,
+                queue_limit=self.config.queue_limit,
+                prepared_cache_size=self.config.prepared_cache_size,
+                plan_cache_size=self.config.plan_cache_size,
+            )
+
+    def _snapshot_databases_for(self, worker_id: int) -> dict[str, Database]:
+        """Bootstrap payload for one (re)spawning pool worker: this
+        process's authoritative catalog copies for the databases that
+        worker hosts."""
+        assert self._pool is not None
+        hosted = self._pool._hosted(worker_id)
+        return {name: self.hosts[name].database for name in hosted}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -257,23 +298,28 @@ class QueryService:
         return self._server.sockets[0].getsockname()[1]
 
     async def start(self) -> None:
-        """Bind the listening socket and start the admission worker."""
+        """Bind the listening socket and start the chosen backend
+        (worker pool, or the legacy in-process admission worker)."""
         if self._server is not None:
             raise RuntimeError("service already started")
         self._loop = asyncio.get_running_loop()
-        self._queue = asyncio.Queue(maxsize=max(1, self.config.queue_limit))
-        # One thread: all engine/catalog access is serialized here, so
-        # the engines and the Database need no locking.
-        self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-service"
-        )
+        if self._pool is not None:
+            await self._pool.start()
+        else:
+            self._queue = asyncio.Queue(maxsize=max(1, self.config.queue_limit))
+            # One thread: all engine/catalog access is serialized here,
+            # so the engines and the Database need no locking.
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-service"
+            )
         self._server = await asyncio.start_server(
             self._handle_client,
             host=self.config.host,
             port=self.config.port,
             limit=MAX_LINE_BYTES + 1024,
         )
-        self._worker_task = self._loop.create_task(self._worker())
+        if self._pool is None:
+            self._worker_task = self._loop.create_task(self._worker())
 
     async def serve_forever(self) -> None:
         """Run until cancelled (used by ``python -m repro serve``)."""
@@ -309,6 +355,8 @@ class QueryService:
                     )
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        if self._pool is not None:
+            await self._pool.stop()
         self._server = None
         self._worker_task = None
         self._executor = None
@@ -373,13 +421,27 @@ class QueryService:
             if op == "ping":
                 response = ok_response(request_id, pong=True)
             elif op == "stats":
-                response = ok_response(request_id, stats=self.snapshot())
+                reset = bool(
+                    request_field(message, "reset", bool, required=False)
+                )
+                # The snapshot is taken first, so a resetting stats call
+                # returns the final pre-reset window.
+                response = ok_response(
+                    request_id, stats=self.snapshot(), reset=reset
+                )
+                if reset:
+                    self.reset_stats()
             elif op == "open_session":
                 response = self._op_open_session(request_id, message)
             elif op == "close_session":
                 response = self._op_close_session(request_id, message)
             elif op in self._ENGINE_OPS:
-                label, response = await self._admit(request_id, op, message)
+                if self._pool is not None:
+                    label, response = await self._admit_pool(
+                        request_id, op, message
+                    )
+                else:
+                    label, response = await self._admit(request_id, op, message)
                 label = label or op
             else:
                 response = error_response(
@@ -502,6 +564,196 @@ class QueryService:
             )
         self.stats.set_queue_depth(self._queue.qsize())
         return await work.future
+
+    # ------------------------------------------------------------------
+    # Engine ops, pool backend
+    # ------------------------------------------------------------------
+    async def _admit_pool(self, request_id, op: str, message: dict):
+        """Dispatch one engine op onto the worker pool.
+
+        Canonicalization, statement-registry lookups, and update
+        validation stay inline on the event loop (they are cheap and
+        must see one consistent registry); only engine execution and
+        delta application cross into worker processes.
+        """
+        assert self._loop is not None and self._pool is not None
+        if self._stopping:
+            return None, error_response(request_id, "shutdown", "server stopping")
+        session = self._resolve_session(message)
+        host = self.hosts[session.database]
+        timeout = request_field(message, "timeout", float, required=False)
+        if timeout is None:
+            timeout = self.config.request_timeout
+        now = self._loop.time()
+        deadline = now + timeout if timeout > 0 else now
+        if op == "prepare":
+            rule = request_field(message, "rule", str)
+            method = self._resolve_method(message, session)
+            query = parse_rule(rule)
+            statement, values, hit = host.prepare(query, method)
+            return op, ok_response(
+                request_id,
+                statement=statement.statement_id,
+                shape=statement.shape.text,
+                params=statement.param_count,
+                columns=list(statement.columns),
+                method=method,
+                cached=hit,
+                default_params=list(values),
+            )
+        if op == "update":
+            return await self._pool_update(
+                request_id, message, session, host, deadline
+            )
+        if op == "query":
+            rule = request_field(message, "rule", str)
+            method = self._resolve_method(message, session)
+            query = parse_rule(rule)
+            statement, params, hit = host.prepare(query, method)
+            label = "query_warm" if hit else "query_cold"
+            cached = hit
+        else:  # execute
+            statement_id = request_field(message, "statement", int)
+            params = message.get("params", [])
+            self._check_params(params)
+            statement = host.prepared.by_id(statement_id)
+            if statement is None:
+                raise _RequestError(
+                    "unknown_statement", f"no prepared statement {statement_id}"
+                )
+            label = "execute"
+            cached = True
+        return await self._pool_execute(
+            request_id, session, statement, tuple(params), label, cached, deadline
+        )
+
+    async def _pool_execute(
+        self, request_id, session, statement, params, label, cached, deadline
+    ):
+        """Route one read to an eligible worker and await its result.
+
+        The read must observe every write this session made to any
+        relation the statement scans, so it carries the maximum of
+        those write sequence numbers; the router only considers workers
+        whose replication watermark has reached it.
+        """
+        assert self._loop is not None and self._pool is not None
+        need = 0
+        for atom in statement.shape.template.atoms:
+            seq = session.writes.get(atom.relation, 0)
+            if seq > need:
+                need = seq
+        handle = self._pool.route_read(session.database, need)
+        frame = {
+            "kind": "exec",
+            "db": session.database,
+            "engine": session.engine,
+            "method": statement.method,
+            "statement": statement.statement_id,
+            "shape": shape_to_wire(statement.shape),
+            "params": list(params),
+        }
+        item = PoolRequest(
+            frame=frame,
+            future=self._loop.create_future(),
+            deadline=deadline,
+            request_id=request_id,
+        )
+        if not self._pool.submit(handle, item):
+            return None, error_response(
+                request_id,
+                "overloaded",
+                f"admission queue full ({self.config.queue_limit})",
+            )
+        self.stats.set_queue_depth(self._pool.queued)
+        raw = await item.future
+        if not raw.get("ok"):
+            return None, error_response(
+                request_id,
+                raw.get("code", "internal"),
+                raw.get("message", "worker error"),
+            )
+        statement.uses += 1  # keep front-end statement stats meaningful
+        return label, ok_response(
+            request_id,
+            statement=statement.statement_id,
+            columns=list(statement.columns),
+            rows=raw["rows"],
+            cardinality=raw["cardinality"],
+            cached=cached,
+            rebound=raw["rebound"],
+            elapsed_s=raw["elapsed"],
+        )
+
+    async def _pool_update(self, request_id, message, session, host, deadline):
+        """Commit one write on its primary worker, then mirror + fan out.
+
+        The write sequence number is allocated only *after* the primary
+        acks, in ack order — so sequence numbers are dense over writes
+        that actually committed, and a timed-out or failed write leaves
+        no replication gap.  The ack-then-mirror-then-forward order is
+        what makes respawn snapshots safe: the front-end copy always
+        contains every delta any replica was ever asked to apply.
+        """
+        assert self._loop is not None and self._pool is not None
+        relation = request_field(message, "relation", str)
+        insert = self._check_rows(message.get("insert", []), "insert")
+        delete = self._check_rows(message.get("delete", []), "delete")
+        db = session.database
+        primary = self._pool.primary(db)
+        frame = {
+            "kind": "update",
+            "db": db,
+            "relation": relation,
+            "insert": insert,
+            "delete": delete,
+        }
+        item = PoolRequest(
+            frame=frame,
+            future=self._loop.create_future(),
+            deadline=deadline,
+            request_id=request_id,
+        )
+        if not self._pool.submit(primary, item):
+            return None, error_response(
+                request_id,
+                "overloaded",
+                f"admission queue full ({self.config.queue_limit})",
+            )
+        self.stats.set_queue_depth(self._pool.queued)
+        raw = await item.future
+        if not raw.get("ok") and raw.get("code") in (
+            "timeout",
+            "worker_failed",
+            "shutdown",
+        ):
+            # The delta is not durable anywhere: it either never ran, or
+            # ran on a primary that crashed and was respawned from the
+            # front-end copy (which does not contain it).
+            return None, error_response(
+                request_id, raw["code"], raw["message"]
+            )
+        # The primary executed the delta (fully, or partially before an
+        # error).  Replay it deterministically on the front-end copy and
+        # fan it out so every copy converges on the identical state.
+        seq = self._pool.next_seq(db)
+        inserted, deleted, error = apply_catalog_delta(
+            host.database, relation, insert, delete
+        )
+        self._pool.record_commit(db, seq, primary)
+        self._pool.forward_apply(db, relation, insert, delete, seq)
+        if inserted or deleted:
+            session.writes[relation] = seq
+        if error is not None:
+            code, text = _map_exception(error)
+            return None, error_response(request_id, code, text)
+        return "update", ok_response(
+            request_id,
+            relation=relation,
+            inserted=inserted,
+            deleted=deleted,
+            version=host.database.version(relation),
+        )
 
     def _build_thunk(self, request_id, op, message, session, host):
         """Validate the request *now* (on the loop) and return the
@@ -680,10 +932,18 @@ class QueryService:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero every traffic counter and latency window (and, in pool
+        mode, the per-worker dispatch counters) so subsequent snapshots
+        describe a clean measurement window."""
+        self.stats.reset()
+        if self._pool is not None:
+            self._pool.reset_counters()
+
     def snapshot(self) -> dict:
         """The ``stats`` op's payload.  Counters are read without
         synchronization — values are advisory, not transactional."""
-        return {
+        out = {
             "service": self.stats.snapshot(),
             "sessions": len(self._sessions),
             "config": {
@@ -695,11 +955,16 @@ class QueryService:
                 "plan_cache_size": self.config.plan_cache_size,
                 "default_engine": self.config.default_engine,
                 "default_method": self.config.default_method,
+                "workers": self.config.workers,
+                "replicas": self.config.replicas,
             },
             "databases": {
                 name: host.info() for name, host in sorted(self.hosts.items())
             },
         }
+        if self._pool is not None:
+            out["pool"] = self._pool.snapshot()
+        return out
 
 
 __all__ = [

@@ -40,6 +40,14 @@ class LatencyRecorder:
         self.count += 1
         self.total += seconds
 
+    def reset(self) -> None:
+        """Drop the retained window and zero the lifetime counters, so
+        the next snapshot describes only post-reset traffic (used by the
+        ``stats`` op's ``reset`` flag to separate bench phases)."""
+        self._samples.clear()
+        self.count = 0
+        self.total = 0.0
+
     def percentile(self, pct: float) -> float:
         """Nearest-rank percentile over the retained window (0.0 when
         empty)."""
@@ -118,6 +126,26 @@ class ServiceStats:
 
     def latency(self, label: str) -> LatencyRecorder | None:
         return self._latency.get(label)
+
+    def reset(self) -> None:
+        """Zero every counter and latency window.
+
+        Gauges that describe *current* state (``queue_depth``) are kept;
+        high-water marks and lifetime counters restart.  The ``stats``
+        op exposes this via its ``reset`` flag so benchmark phases (and
+        the pool driver's per-worker-count rounds) read clean windows.
+        """
+        self.requests = 0
+        self.errors = {}
+        self.ops = {}
+        self.admission_rejections = 0
+        self.timeouts = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.queue_peak = self.queue_depth
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        self._latency = {}
 
     def snapshot(self) -> dict:
         """JSON-ready view of every counter and latency class."""

@@ -1,0 +1,535 @@
+"""Tests for the multi-process worker pool backend.
+
+Pure-logic tests cover the router (sharding layout, read-your-writes
+gating) and the shape wire format; live tests run a real
+:class:`QueryService` with ``workers > 0`` — actual child processes over
+loopback IPC — and exercise differential correctness against
+``evaluate()``, read-your-writes under replication, queue-wait deadline
+expiry at dequeue, and crash detection with respawn-from-snapshot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.planner import plan_query
+from repro.datalog import parse_rule
+from repro.relalg.compiled import ENGINE_NAMES
+from repro.relalg.database import Database, edge_database
+from repro.relalg.engine import evaluate
+from repro.relalg.relation import Relation
+from repro.service import QueryService, ServiceClient, ServiceConfig, ServiceError
+from repro.service.client import ServiceRetryableError
+from repro.service.pool import WorkerHandle, choose_reader, plan_assignments
+from repro.service.prepared import (
+    PreparedStatement,
+    canonicalize_query,
+    shape_from_wire,
+    shape_to_wire,
+)
+
+SLOW_RULE = "q(X) :- dense(X, Y), dense(Y, Z), dense(Z, X)."
+
+
+def pool_database(dense_nodes: int = 0) -> Database:
+    db = edge_database()
+    rows = [(i, (i * 3 + 1) % 7) for i in range(7)] + [(1, 4), (2, 5)]
+    db.add("graph", Relation(("u", "w"), rows))
+    if dense_nodes:
+        dense = [
+            (i, j) for i in range(dense_nodes) for j in range(dense_nodes) if i != j
+        ]
+        db.add("dense", Relation(("u", "w"), dense))
+    return db
+
+
+class LivePool:
+    """A QueryService (pool or legacy backend) on a background loop."""
+
+    def __init__(self, databases=None, **config_kwargs):
+        self.service = QueryService(
+            databases or {"default": pool_database()},
+            ServiceConfig(port=0, **config_kwargs),
+        )
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
+        self.thread.start()
+        asyncio.run_coroutine_threadsafe(self.service.start(), self.loop).result(120)
+        self.port = self.service.port
+
+    def client(self, **kwargs) -> ServiceClient:
+        return ServiceClient("127.0.0.1", self.port, **kwargs)
+
+    def shutdown(self) -> None:
+        future = asyncio.run_coroutine_threadsafe(self.service.stop(), self.loop)
+        try:
+            future.result(60)
+        except TimeoutError:
+            dump = asyncio.run_coroutine_threadsafe(
+                self._dump_tasks(), self.loop
+            ).result(10)
+            raise RuntimeError(f"stop() hung; pending tasks:\n{dump}")
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        self.loop.close()
+
+    @staticmethod
+    async def _dump_tasks() -> str:
+        import io
+        import traceback
+
+        out = io.StringIO()
+        for task in asyncio.all_tasks():
+            print(repr(task), file=out)
+            task.print_stack(file=out)
+        return out.getvalue()
+
+
+@pytest.fixture
+def live():
+    started: list[LivePool] = []
+
+    def factory(databases=None, **config_kwargs) -> LivePool:
+        service = LivePool(databases, **config_kwargs)
+        started.append(service)
+        return service
+
+    yield factory
+    for service in started:
+        service.shutdown()
+
+
+class TestAssignments:
+    def test_round_robin_primaries_with_replicas(self):
+        layout = plan_assignments(["a", "b", "c"], workers=3, replicas=1)
+        assert layout == {"a": (0, (1,)), "b": (1, (2,)), "c": (2, (0,))}
+
+    def test_replicas_clamped_to_worker_count(self):
+        layout = plan_assignments(["a"], workers=2, replicas=5)
+        assert layout["a"] == (0, (1,))  # not 5 replicas, and never itself
+
+    def test_single_worker_has_no_replicas(self):
+        assert plan_assignments(["a", "b"], workers=1, replicas=2) == {
+            "a": (0, ()),
+            "b": (0, ()),
+        }
+
+    def test_layout_is_deterministic_in_name_order(self):
+        one = plan_assignments(["z", "a", "m"], workers=2, replicas=1)
+        two = plan_assignments(["m", "z", "a"], workers=2, replicas=1)
+        assert one == two
+
+
+class TestReadRouting:
+    @staticmethod
+    def handles(*applied):
+        out = []
+        for worker_id, seq in enumerate(applied):
+            handle = WorkerHandle(worker_id)
+            handle.applied_seq = {"db": seq}
+            out.append(handle)
+        return out
+
+    def test_stale_replica_excluded_until_caught_up(self):
+        primary, replica = self.handles(5, 3)
+        chosen, gated = choose_reader(
+            [primary, replica], "db", need_seq=5, primary_id=0, rotation=1
+        )
+        assert chosen is primary and gated is True
+        # Once the replica has applied the session's writes it is back
+        # in the candidate set.
+        replica.applied_seq["db"] = 5
+        chosen, gated = choose_reader(
+            [primary, replica], "db", need_seq=5, primary_id=0, rotation=1
+        )
+        assert chosen is replica and gated is False
+
+    def test_primary_always_eligible_even_behind_watermark(self):
+        # The primary's queue ordered the write before this read, so it
+        # serves reads regardless of its recorded watermark.
+        (primary,) = self.handles(0)
+        chosen, gated = choose_reader(
+            [primary], "db", need_seq=9, primary_id=0, rotation=0
+        )
+        assert chosen is primary and gated is False
+
+    def test_least_outstanding_wins(self):
+        primary, replica = self.handles(1, 1)
+        primary.inflight = object()  # one request outstanding
+        chosen, _ = choose_reader(
+            [primary, replica], "db", need_seq=0, primary_id=0, rotation=0
+        )
+        assert chosen is replica
+
+
+class TestShapeWire:
+    def test_round_trip_preserves_key_template_and_text(self):
+        shape, values = canonicalize_query(
+            parse_rule("q(X, Y) :- graph(2, X), graph(X, Y), graph(Y, 7).")
+        )
+        rebuilt = shape_from_wire(shape_to_wire(shape))
+        assert rebuilt.key == shape.key
+        assert rebuilt.template == shape.template
+        assert rebuilt.hole_count == shape.hole_count == len(values)
+        assert rebuilt.text == shape.text
+
+    def test_rebuilt_statement_is_executable(self):
+        db = pool_database()
+        shape, values = canonicalize_query(
+            parse_rule("q(X) :- graph(2, X), graph(X, Y).")
+        )
+        local = PreparedStatement(7, shape, "bucket")
+        remote = PreparedStatement(7, shape_from_wire(shape_to_wire(shape)), "bucket")
+        assert remote.param_relations == local.param_relations
+        remote.bind(db, values)
+        result, _ = evaluate(remote.plan, db)
+        expected, _ = evaluate(
+            plan_query(
+                parse_rule("q(X) :- graph(2, X), graph(X, Y)."),
+                "bucket",
+                rng=random.Random(0),
+            ),
+            pool_database(),
+        )
+        assert result.rows == expected.rows
+
+
+class TestPoolQueries:
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_served_rows_match_direct_evaluate(self, live, engine):
+        rules = [
+            "q(X) :- edge(X, Y), edge(Y, X).",
+            "q(X) :- graph(2, X), graph(X, Y).",
+            "q(X, Y) :- graph(X, Y), graph(Y, 4).",
+        ]
+        server = live(workers=2, replicas=1)
+        with server.client() as client:
+            session = client.open_session(engine=engine)
+            for rule in rules:
+                served = client.query(session, rule)
+                expected, _ = evaluate(
+                    plan_query(parse_rule(rule), "bucket", rng=random.Random(0)),
+                    pool_database(),
+                    engine=engine,
+                )
+                assert {tuple(row) for row in served["rows"]} == expected.rows, rule
+                # Same shape, warm second run, same rows.
+                again = client.query(session, rule)
+                assert again["cached"] is True
+                assert again["rows"] == served["rows"]
+
+    def test_prepare_execute_and_shared_statements(self, live):
+        server = live(workers=2, replicas=1)
+        with server.client() as client:
+            one = client.open_session(engine="interpreted")
+            two = client.open_session(engine="compiled")
+            p1 = client.prepare(one, "q(X) :- graph(3, X).")
+            p2 = client.prepare(two, "q(X) :- graph(6, X).")
+            # The statement registry lives in the front end, so both
+            # sessions (routed to different workers) share one id.
+            assert p1["statement"] == p2["statement"]
+            assert p2["cached"] is True
+            for session, anchor in ((one, 2), (two, 5), (one, 2)):
+                answer = client.execute(session, p1["statement"], [anchor])
+                rule = f"q(X) :- graph({anchor}, X)."
+                expected, _ = evaluate(
+                    plan_query(parse_rule(rule), "bucket", rng=random.Random(0)),
+                    pool_database(),
+                )
+                assert {tuple(r) for r in answer["rows"]} == expected.rows
+
+    def test_execute_unknown_statement_and_bad_params(self, live):
+        server = live(workers=2, replicas=1)
+        with server.client() as client:
+            session = client.open_session()
+            with pytest.raises(ServiceError) as exc:
+                client.execute(session, 12345, [])
+            assert exc.value.code == "unknown_statement"
+            prepared = client.prepare(session, "q(X) :- graph(2, X).")
+            with pytest.raises(ServiceError) as exc:
+                client.execute(session, prepared["statement"], [1, 2])
+            assert exc.value.code == "bad_request"
+
+    def test_error_codes_match_legacy_backend(self, live):
+        server = live(workers=2, replicas=1)
+        with server.client() as client:
+            session = client.open_session()
+            with pytest.raises(ServiceError) as exc:
+                client.query(session, "not datalog at all")
+            assert exc.value.code == "query_error"
+            with pytest.raises(ServiceError) as exc:
+                client.query(session, "q(X) :- nothere(X, Y).")
+            assert exc.value.code == "unknown_relation"
+            with pytest.raises(ServiceError) as exc:
+                client.update(session, "nothere", insert=[[1, 2]])
+            assert exc.value.code == "unknown_relation"
+
+
+class TestReadYourWrites:
+    def test_session_reads_observe_own_writes_immediately(self, live):
+        """The documented read-your-writes guarantee: within a session,
+        a read issued right after an acknowledged write always observes
+        it, even with replicas that may not have applied it yet."""
+        server = live(workers=2, replicas=1)
+        with server.client() as client:
+            session = client.open_session()
+            for i in range(15):
+                updated = client.update(
+                    session, "graph", insert=[[100 + i, 900 + i]]
+                )
+                assert updated["inserted"] == 1
+                anchored = client.query(session, f"q(X) :- graph({100 + i}, X).")
+                assert [900 + i] in anchored["rows"], f"write {i} not visible"
+            snap = client.stats_snapshot()
+            pool = snap["pool"]
+            assert pool["write_seq"]["default"] == 15
+            assert snap["service"]["errors"] == {}
+
+    def test_other_sessions_converge_after_replication(self, live):
+        server = live(workers=2, replicas=1)
+        with server.client() as client:
+            writer = client.open_session()
+            client.update(writer, "graph", insert=[[300, 301]])
+            # Wait for the replica watermark to catch up, then any
+            # session on any worker must see the row.
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if max(client.stats_snapshot()["pool"]["replica_lag"].values()) == 0:
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("replica never caught up")
+            reader = client.open_session()
+            for _ in range(8):  # hits both primary and replica over rotation
+                rows = client.query(reader, "q(X) :- graph(300, X).")["rows"]
+                assert rows == [[301]]
+
+    def test_version_field_matches_legacy_semantics(self, live):
+        server = live(workers=2, replicas=1)
+        with server.client() as client:
+            session = client.open_session()
+            first = client.update(session, "graph", insert=[[50, 60]])
+            second = client.update(session, "graph", insert=[[50, 60]])
+            assert second["inserted"] == 0
+            assert second["version"] == first["version"]  # no-op delta
+
+
+class TestPoolAdmission:
+    def test_timeout_zero_expires_at_dequeue(self, live):
+        server = live(workers=1)
+        with server.client() as client:
+            session = client.open_session()
+            with pytest.raises(ServiceError) as exc:
+                client.request(
+                    "query", session=session, rule="q(X) :- edge(X, Y).", timeout=0
+                )
+            assert exc.value.code == "timeout"
+
+    def test_expired_update_behind_slow_query_never_executes(self, live):
+        """A queue-expired request is dropped at dequeue *without
+        executing*: the update queued behind an in-flight slow query
+        times out and must leave the catalog untouched, while the
+        healthy request queued alongside it still completes."""
+        server = live(
+            databases={"default": pool_database(dense_nodes=80)}, workers=1
+        )
+        with server.client() as slow_client, server.client() as upd_client, \
+                server.client() as read_client:
+            slow = slow_client.open_session()
+            upd = upd_client.open_session()
+            read = read_client.open_session()
+            with ThreadPoolExecutor(max_workers=3) as threads:
+                slow_future = threads.submit(slow_client.query, slow, SLOW_RULE)
+                time.sleep(0.15)  # let the slow query reach the worker
+                update_future = threads.submit(
+                    upd_client.request,
+                    "update",
+                    session=upd,
+                    relation="graph",
+                    insert=[[500, 600]],
+                    timeout=0,
+                )
+                read_future = threads.submit(
+                    read_client.query, read, "q(X) :- graph(2, X)."
+                )
+                assert slow_future.result(60)["cardinality"] >= 1
+                with pytest.raises(ServiceError) as exc:
+                    update_future.result(60)
+                assert exc.value.code == "timeout"
+                assert read_future.result(60)["rows"]
+            # The expired update never ran anywhere.
+            after = read_client.query(read, "q(X) :- graph(500, X).")
+            assert after["rows"] == []
+            snap = read_client.stats_snapshot()
+            assert snap["pool"]["write_seq"]["default"] == 0
+
+
+class TestCrashRecovery:
+    def test_worker_crash_fails_inflight_then_respawns_with_data(self, live):
+        server = live(workers=1)
+        with server.client() as client:
+            session = client.open_session()
+            updated = client.update(session, "graph", insert=[[77, 88]])
+            assert updated["inserted"] == 1
+            assert [88] in client.query(session, "q(X) :- graph(77, X).")["rows"]
+
+            pid = int(client.stats_snapshot()["pool"]["workers"]["0"]["pid"])
+            os.kill(pid, signal.SIGKILL)
+            time.sleep(0.3)
+
+            # First request after the kill hits the dead socket: the
+            # pump fails it with the retryable worker_failed code.
+            with pytest.raises(ServiceRetryableError) as exc:
+                client.query(session, "q(X) :- graph(77, X).")
+            assert exc.value.code == "worker_failed"
+
+            # Retrying (the documented client contract for retryable
+            # codes) eventually lands on the respawned worker, which was
+            # bootstrapped from the front end's mirror: the acknowledged
+            # write survived the crash.
+            deadline = time.monotonic() + 60
+            rows = None
+            while time.monotonic() < deadline:
+                try:
+                    rows = client.query(session, "q(X) :- graph(77, X).")["rows"]
+                    break
+                except ServiceRetryableError:
+                    time.sleep(0.1)
+            assert rows is not None, "worker never respawned"
+            assert [88] in rows
+            workers = client.stats_snapshot()["pool"]["workers"]["0"]
+            assert workers["respawns"] >= 1
+            assert workers["alive"] is True
+
+
+class TestPoolStats:
+    def test_pool_block_shape_and_reset(self, live):
+        server = live(workers=2, replicas=1)
+        with server.client() as client:
+            session = client.open_session()
+            for _ in range(6):
+                client.query(session, "q(X) :- edge(X, Y), edge(Y, X).")
+            snap = client.stats_snapshot()
+            pool = snap["pool"]
+            assert snap["config"]["workers"] == 2
+            assert snap["config"]["replicas"] == 1
+            assert set(pool["workers"]) == {"0", "1"}
+            worker = pool["workers"]["0"]
+            for key in (
+                "pid",
+                "alive",
+                "queue_depth",
+                "inflight",
+                "dispatched",
+                "completed",
+                "errors",
+                "respawns",
+                "applied_seq",
+            ):
+                assert key in worker
+            assert pool["reads_primary"] + pool["reads_replica"] == 6
+            assert pool["reads_replica"] > 0  # rotation used the replica
+            assert pool["assignments"]["default"]["primary"] == 0
+            assert pool["assignments"]["default"]["replicas"] == [1]
+
+            # The resetting snapshot returns the pre-reset window; the
+            # next snapshot starts clean (per-worker counters included).
+            pre = client.reset_stats()
+            assert pre["service"]["requests"] >= 7
+            post = client.stats_snapshot()
+            assert post["service"]["requests"] == 1  # just this stats call
+            assert post["pool"]["reads_primary"] + post["pool"]["reads_replica"] == 0
+            assert post["pool"]["workers"]["0"]["dispatched"] == 0
+
+
+class FlakyServer(threading.Thread):
+    """Accepts connections; drops the first one on its first request,
+    then answers pings normally — exercising client reconnect."""
+
+    def __init__(self) -> None:
+        super().__init__(daemon=True)
+        import socket
+
+        self.sock = socket.socket()
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(4)
+        self.port = self.sock.getsockname()[1]
+        self.dropped = False
+
+    def run(self) -> None:
+        import json
+
+        while True:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            with conn:
+                stream = conn.makefile("rb")
+                while True:
+                    line = stream.readline()
+                    if not line:
+                        break
+                    if not self.dropped:
+                        self.dropped = True
+                        break  # close mid-request: client sees EOF
+                    message = json.loads(line)
+                    reply = {"id": message.get("id"), "ok": True, "pong": True}
+                    conn.sendall((json.dumps(reply) + "\n").encode())
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+class TestClientReconnect:
+    def test_connection_loss_is_retryable_and_reconnects(self):
+        server = FlakyServer()
+        server.start()
+        try:
+            client = ServiceClient(
+                "127.0.0.1", server.port, reconnect_backoff=0.01
+            )
+            with pytest.raises(ServiceRetryableError) as exc:
+                client.ping()
+            assert exc.value.code == "connection_lost"
+            assert client.reconnects == 1
+            # The reconnected socket works; the retry is the caller's
+            # explicit decision, not something the client does silently.
+            assert client.ping() is True
+            client.close()
+        finally:
+            server.close()
+
+    def test_reconnect_exhaustion_raises_retryable(self):
+        server = FlakyServer()  # never started: connects but nobody accepts>backlog
+        port = server.port
+        client = ServiceClient(
+            "127.0.0.1", port, reconnect_attempts=2, reconnect_backoff=0.01
+        )
+        server.close()  # now every reconnect attempt is refused
+        with pytest.raises(ServiceRetryableError) as exc:
+            client.ping()
+        assert exc.value.code == "connection_lost"
+        client.close()
+
+    def test_retryable_codes_raise_subclass(self, live):
+        server = live(workers=1)
+        with server.client() as client:
+            session = client.open_session()
+            with pytest.raises(ServiceRetryableError) as exc:
+                client.request(
+                    "query", session=session, rule="q(X) :- edge(X, Y).", timeout=0
+                )
+            assert exc.value.code == "timeout"
+            # Non-retryable errors stay plain ServiceError.
+            with pytest.raises(ServiceError) as exc:
+                client.query(session, "nonsense")
+            assert not isinstance(exc.value, ServiceRetryableError)

@@ -12,6 +12,8 @@ import json
 import random
 import socket
 import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
@@ -257,6 +259,18 @@ class TestUpdates:
             assert exc.value.code == "unknown_relation"
 
 
+def dense_database(nodes: int = 80) -> Database:
+    db = service_database()
+    db.add(
+        "dense",
+        Relation(
+            ("u", "w"),
+            [(i, j) for i in range(nodes) for j in range(nodes) if i != j],
+        ),
+    )
+    return db
+
+
 class TestAdmissionControl:
     def test_request_timeout_zero_expires_in_queue(self, live):
         with live().client() as client:
@@ -269,6 +283,52 @@ class TestAdmissionControl:
                     timeout=0,
                 )
             assert exc.value.code == "timeout"
+
+    def test_expired_request_mid_batch_never_executes(self, live):
+        """An expired request drained in the same batch as a healthy one
+        fails with ``timeout`` at dequeue and must not run: the update
+        leaves no trace while the query beside it completes."""
+        server = live(databases={"default": dense_database()})
+        with server.client() as slow_client, server.client() as upd_client, \
+                server.client() as read_client:
+            slow = slow_client.open_session()
+            upd = upd_client.open_session()
+            read = read_client.open_session()
+            slow_rule = "q(X) :- dense(X, Y), dense(Y, Z), dense(Z, X)."
+            with ThreadPoolExecutor(max_workers=3) as threads:
+                slow_future = threads.submit(slow_client.query, slow, slow_rule)
+                time.sleep(0.15)  # slow query now occupies the executor
+                update_future = threads.submit(
+                    upd_client.request,
+                    "update",
+                    session=upd,
+                    relation="graph",
+                    insert=[[500, 600]],
+                    timeout=0,
+                )
+                read_future = threads.submit(
+                    read_client.query, read, "q(X) :- graph(2, X)."
+                )
+                assert slow_future.result(60)["cardinality"] >= 1
+                with pytest.raises(ServiceError) as exc:
+                    update_future.result(60)
+                assert exc.value.code == "timeout"
+                assert read_future.result(60)["rows"]
+            after = read_client.query(read, "q(X) :- graph(500, X).")
+            assert after["rows"] == []
+
+    def test_stats_reset_clears_counters_and_latency(self, live):
+        with live().client() as client:
+            session = client.open_session()
+            client.query(session, "q(X) :- edge(X, Y).")
+            pre = client.reset_stats()
+            assert pre["service"]["requests"] >= 3
+            assert "query_cold" in pre["service"]["latency"]
+            post = client.stats_snapshot()
+            assert post["service"]["requests"] == 1  # just this stats op
+            # Only post-reset traffic (stats ops) left in the window.
+            assert set(post["service"]["latency"]) <= {"stats"}
+            assert post["service"]["ops"] == {"stats": 1}
 
     def test_stats_snapshot_shape(self, live):
         server = live()

@@ -183,6 +183,8 @@ class TestServeCommand:
         assert args.prepared_cache_size == 256
         assert args.default_engine == "interpreted"
         assert args.default_method == "bucket"
+        assert args.workers == 0  # pool off by default: legacy in-process path
+        assert args.replicas == 1
 
     def test_serve_flags_parse(self):
         args = build_argument_parser().parse_args(
@@ -201,6 +203,26 @@ class TestServeCommand:
         assert args.edge_db == ["colors"]
         assert args.default_engine == "vectorized"
         assert args.default_method == "early"
+
+    def test_serve_pool_knobs_parse(self):
+        args = build_argument_parser().parse_args(
+            ["serve", "--workers", "4", "--replicas", "2"]
+        )
+        assert args.workers == 4
+        assert args.replicas == 2
+
+    def test_serve_pool_knobs_reach_config(self):
+        from repro.service import QueryService, ServiceConfig
+        from repro.relalg.database import edge_database
+
+        args = build_argument_parser().parse_args(
+            ["serve", "--workers", "3", "--replicas", "1"]
+        )
+        config = ServiceConfig(workers=args.workers, replicas=args.replicas)
+        service = QueryService({"default": edge_database()}, config)
+        assert service.config.workers == 3
+        assert service._pool is not None
+        assert service._pool.workers == 3
 
     def test_serve_rejects_unknown_engine(self):
         with pytest.raises(SystemExit):
